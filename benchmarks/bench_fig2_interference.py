@@ -1,0 +1,67 @@
+"""Figure 2: fraction of accesses with path-altering interference.
+
+The paper profiles a 64-core chip (private L1s+L2, 16-bank shared L3)
+over 10 PARSEC/SPLASH-2 workloads at 1K/10K/100K-cycle intervals; the
+fraction is negligible at 1K cycles and grows with the window.  We run
+the same ten workload names on a scaled-down tiled chip with one thread
+per core.
+"""
+
+from conftest import emit, instrs, once, tiles
+
+from repro.config import tiled_chip
+from repro.core import InterferenceProfiler, ZSim
+from repro.stats import format_table
+from repro.workloads import FIGURE2_WORKLOADS, mt_workload
+
+INTERVALS = (1_000, 10_000, 100_000)
+
+
+def profile_workload(name, num_tiles, cores_per_tile):
+    config = tiled_chip(num_tiles=num_tiles, core_model="simple",
+                        cores_per_tile=cores_per_tile)
+    profiler = InterferenceProfiler(INTERVALS)
+    workload = mt_workload(name, scale=1 / 32,
+                           num_threads=config.num_cores)
+    threads = workload.make_threads(target_instrs=instrs(60_000),
+                                    num_threads=config.num_cores)
+    # Bound phase only: the profile is a property of the access streams.
+    sim = ZSim(config, threads=threads, contention_model="none",
+               profiler=profiler)
+    sim.run()
+    return profiler
+
+
+def test_fig2_path_altering_interference(benchmark):
+    num_tiles = tiles(4)
+
+    def run():
+        rows = []
+        for name in FIGURE2_WORKLOADS:
+            profiler = profile_workload(name, num_tiles, 4)
+            rows.append([name] + ["%.2e" % profiler.fraction(n)
+                                  for n in INTERVALS]
+                        + ["%.2e" % profiler.reordered_fraction(1_000)])
+        return rows
+
+    rows = once(benchmark, run)
+    from repro.stats import line_plot
+    series = {row[0]: [(i + 1, float(row[i + 1])) for i in range(3)]
+              for row in rows}
+    plot = line_plot(series, width=48, height=12,
+                     x_label="interval (1=1K, 2=10K, 3=100K cycles)",
+                     y_label="fraction", logy=True,
+                     title="Figure 2 (log y)")
+    emit("fig2_interference", format_table(
+        ["workload", "1Kcyc", "10Kcyc", "100Kcyc", "reordered@1K"],
+        rows,
+        title="Figure 2: fraction of accesses with path-altering "
+              "interference (%d cores)" % (num_tiles * 4))
+        + "\n\n" + plot)
+
+    # The paper's claims: interference grows with the interval and is
+    # small at 1K cycles for every workload.
+    for row in rows:
+        f1k, f10k, f100k = (float(row[1]), float(row[2]), float(row[3]))
+        assert f1k <= f10k <= f100k
+        assert f1k < 0.05

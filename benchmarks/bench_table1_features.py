@@ -1,0 +1,13 @@
+"""Table 1: simulator comparison matrix (static feature data)."""
+
+from conftest import emit, once
+
+from repro.harness import table1
+
+
+def test_table1_feature_matrix(benchmark):
+    text = once(benchmark, table1.render)
+    emit("table1_features", text)
+    matrix = table1.feature_matrix()
+    assert len(matrix) == 7
+    assert table1.zsim_row()["Parallelization"] == "Bound-weave"

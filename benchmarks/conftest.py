@@ -1,0 +1,46 @@
+"""Shared benchmark utilities.
+
+Every benchmark regenerates one table or figure of the paper at a
+Python-feasible scale, prints it, and saves it under
+``benchmarks/results/``.  Scales can be grown via environment variables:
+
+* ``REPRO_BENCH_INSTRS``  — multiplier on instruction targets (default 1)
+* ``REPRO_BENCH_TILES``   — multiplier on tile counts (default 1)
+
+The paper's 64/256/1024-core systems map by default onto 16/32/64-core
+simulations (see DESIGN.md: shapes, not absolute magnitudes, are the
+reproduction target).
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+INSTR_SCALE = float(os.environ.get("REPRO_BENCH_INSTRS", "1"))
+TILE_SCALE = float(os.environ.get("REPRO_BENCH_TILES", "1"))
+
+
+def instrs(base):
+    """Scaled instruction target."""
+    return max(2_000, int(base * INSTR_SCALE))
+
+
+def tiles(base):
+    """Scaled tile count."""
+    return max(1, int(base * TILE_SCALE))
+
+
+def emit(name, text):
+    """Print a result block and persist it to benchmarks/results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / ("%s.txt" % name)).write_text(text + "\n")
+    print()
+    print(text)
+
+
+def once(benchmark, fn):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

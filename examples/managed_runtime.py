@@ -1,0 +1,119 @@
+#!/usr/bin/env python3
+"""User-level virtualization demo: a JVM-like managed runtime.
+
+Reproduces the workload class Section 3.3 targets: an application that
+(1) reads the *simulated* system configuration to size its thread pool
+(system virtualization), (2) launches more threads than cores — worker
+threads plus background GC threads (scheduler), (3) uses blocking
+synchronization (join/leave on the interval barrier), (4) sleeps on
+simulated time (timing virtualization), and (5) spawns a child process
+(multiprocess capture).
+
+Run:  python examples/managed_runtime.py
+"""
+
+from repro import ZSim, westmere
+from repro.dbt.instrumentation import InstrumentedStream
+from repro.dbt.translation_cache import TranslationCache
+from repro.isa.opcodes import Opcode
+from repro.isa.program import BBLExec, Instruction, Program
+from repro.isa.registers import gp
+from repro.virt.process import SimProcess, SimThread
+from repro.virt.sysview import SystemView
+from repro.virt.syscalls import Barrier, Sleep, Spawn
+from repro.virt.timing import VirtualClock
+
+
+def build_program():
+    program = Program("jvm")
+    work = program.add_block(
+        [Instruction(Opcode.ALU, gp(1 + i % 4), gp(5), gp(1 + i % 4))
+         for i in range(6)]
+        + [Instruction(Opcode.LOAD, gp(14), dst1=gp(6)),
+           Instruction(Opcode.STORE, gp(14), gp(6))])
+    syscall = program.add_block([Instruction(Opcode.SYSCALL)])
+    return program, work, syscall
+
+
+def main():
+    config = westmere(num_cores=4, core_model="simple")
+    view = SystemView(config)
+    clock = VirtualClock(config.core.freq_mhz)
+
+    # (1) The runtime tunes itself to the SIMULATED machine, like the
+    # JVM reading /proc/cpuinfo: one worker per core plus 2 GC threads.
+    num_workers = view.cpu_count()
+    total_threads = num_workers + 2
+    print("virtualized /proc/cpuinfo reports %d cores -> launching "
+          "%d threads (%d workers + 2 GC) on a %d-core chip"
+          % (view.cpu_count(), total_threads, num_workers,
+             config.num_cores))
+
+    _program, work, sys_block = build_program()
+    tcache = TranslationCache()
+    jvm = SimProcess("java")
+
+    def worker_stream(tid, phases=4, iters=150):
+        base = 0x1000_0000 + tid * 0x100_0000
+        for phase in range(phases):
+            for i in range(iters):
+                addr = base + (i * 64) % 32768
+                yield BBLExec(work, (addr, addr))
+            # (3) Blocking synchronization between phases.
+            yield BBLExec(sys_block, (),
+                          syscall=Barrier(("gen", phase), num_workers))
+
+    def gc_stream(tid):
+        # (4) GC threads mostly sleep (on simulated time), then scan a
+        # shared heap region; they never join the worker barriers.
+        base = 0x8000_0000
+        for _cycle in range(4):
+            yield BBLExec(sys_block, (),
+                          syscall=Sleep(clock.ns_to_cycles(20_000)))
+            for i in range(100):
+                yield BBLExec(work, (base + i * 64, base + i * 64))
+
+    # (5) Worker 0 doubles as the "main" thread and spawns a helper
+    # process mid-run (fork/exec capture).
+    child_proc = SimProcess("helper", parent=jvm)
+
+    def child_stream():
+        for i in range(200):
+            yield BBLExec(work, (0xC000_0000 + i * 64,) * 2)
+
+    def make_child():
+        return SimThread(InstrumentedStream(child_stream(), tcache),
+                         name="helper", process=child_proc)
+
+    def main_stream():
+        yield BBLExec(sys_block, (), syscall=Spawn(make_child))
+        yield from worker_stream(0)
+
+    sim = ZSim(config)
+    sim.add_thread(SimThread(InstrumentedStream(main_stream(), tcache),
+                             name="main", process=jvm))
+    for tid in range(1, num_workers):
+        sim.add_thread(SimThread(
+            InstrumentedStream(worker_stream(tid), tcache),
+            name="worker-%d" % tid, process=jvm))
+    for tid in range(2):
+        sim.add_thread(SimThread(InstrumentedStream(gc_stream(tid),
+                                                    tcache),
+                                 name="gc-%d" % tid, process=jvm))
+
+    result = sim.run()
+    sched = sim.scheduler
+    print()
+    print("ran %d instructions over %d cycles (%.3f ms simulated)"
+          % (result.instrs, result.cycles,
+             clock.cycles_to_ns(result.cycles) / 1e6))
+    print("threads: %d on %d cores, %d context switches, %d syscalls"
+          % (len(sched.threads), config.num_cores,
+             sched.context_switches, sched.syscalls_handled))
+    print("process tree: %s" % " -> ".join(p.name for p in jvm.tree()))
+    print("rdtsc at end of run: %d (virtualized to simulated cycles)"
+          % clock.rdtsc(result.cycles))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,63 @@
+"""repro: a Python reproduction of ZSim (Sanchez & Kozyrakis, ISCA 2013).
+
+ZSim is a fast, accurate, parallel microarchitectural simulator built on
+three techniques, all reproduced here:
+
+1. **DBT-accelerated instruction-driven core models**
+   (:mod:`repro.dbt`, :mod:`repro.cpu`) — basic blocks are decoded into
+   µop descriptors once and cached; the OOO core advances per-stage
+   clocks per µop instead of per cycle.
+2. **Bound-weave parallelization** (:mod:`repro.core`) — intervals are
+   first simulated per-core with zero-load latencies (bound), then
+   replayed through event-driven contention models partitioned into
+   domains (weave).
+3. **Lightweight user-level virtualization** (:mod:`repro.virt`) —
+   scheduler, blocking-syscall join/leave, timing and system-view
+   virtualization, multiprocess support.
+
+Quick start::
+
+    from repro import ZSim, westmere, mt_workload
+
+    workload = mt_workload("blackscholes", scale=1/32)
+    sim = ZSim(westmere(num_cores=6),
+               threads=workload.make_threads(target_instrs=100_000))
+    result = sim.run()
+    print(result.ipc, result.mips)
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+reproduced tables and figures.
+"""
+
+from repro.config import (
+    SystemConfig,
+    small_test_system,
+    tiled_chip,
+    westmere,
+)
+from repro.core import InterferenceProfiler, SimulationResult, ZSim
+from repro.virt import SimThread
+from repro.workloads import (
+    KernelSpec,
+    Workload,
+    mt_workload,
+    spec_workload,
+)
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "InterferenceProfiler",
+    "KernelSpec",
+    "SimThread",
+    "SimulationResult",
+    "SystemConfig",
+    "Workload",
+    "ZSim",
+    "__version__",
+    "mt_workload",
+    "small_test_system",
+    "spec_workload",
+    "tiled_chip",
+    "westmere",
+]

@@ -1,0 +1,35 @@
+"""Graphite-style baseline: skew-limited simulation + queueing contention.
+
+Graphite simulates cores in parallel allowing memory accesses to be
+reordered within a few thousand cycles of slack, and models contention
+with queueing-theory models evaluated inline (no ordered replay).  The
+paper (and prior work it cites) shows this is inaccurate for contended
+resources; Figure 6 (right) demonstrates it on STREAM.
+
+The baseline here is the same substrate run with:
+
+* a large skew window (no weave phase — accesses keep bound-phase order),
+* M/D/1 queueing latency added to memory accesses in the bound phase.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.core.simulator import ZSim
+
+#: Graphite's default slack window, simulated cycles.
+DEFAULT_SLACK = 5_000
+
+
+def graphite_simulator(config, threads=(), slack=DEFAULT_SLACK, **kwargs):
+    """Build a Graphite-like simulator (skew-limited, M/D/1 contention)."""
+    graphite_config = dataclasses.replace(
+        config,
+        boundweave=dataclasses.replace(
+            config.boundweave,
+            interval_cycles=slack,
+            shuffle_wake_order=False),
+    )
+    return ZSim(graphite_config, threads=threads,
+                contention_model="md1", **kwargs)

@@ -1,0 +1,229 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Subcommands:
+
+* ``run`` — simulate a workload on a config (preset or JSON file) and
+  print/dump stats.
+* ``validate`` — compare zsim vs the reference machine on a workload.
+* ``list-workloads`` — enumerate the synthetic suites.
+* ``table1`` — print the simulator comparison matrix.
+* ``experiment`` — run one of the paper's experiments at a chosen scale
+  (the benchmarks drive the same harness under pytest).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.config import small_test_system, tiled_chip, westmere
+from repro.config.loader import load_config
+from repro.core.simulator import CONTENTION_MODELS, ZSim
+
+PRESETS = {
+    "westmere": lambda cores: westmere(num_cores=cores or 6),
+    "tiled": lambda cores: tiled_chip(
+        num_tiles=max(1, (cores or 64) // 16)),
+    "test": lambda cores: small_test_system(num_cores=cores or 4),
+}
+
+
+def _resolve_config(args):
+    if args.config in PRESETS:
+        config = PRESETS[args.config](args.cores)
+    else:
+        config = load_config(args.config)
+    if args.core_model:
+        import dataclasses
+        config = dataclasses.replace(
+            config, core=dataclasses.replace(config.core,
+                                             model=args.core_model))
+    return config.validate()
+
+
+def _resolve_workload(name, scale, num_threads):
+    from repro.workloads import (
+        MULTITHREADED,
+        SPEC_CPU2006,
+        mt_workload,
+        spec_workload,
+    )
+    if name in SPEC_CPU2006:
+        return spec_workload(name, scale=scale)
+    if name in MULTITHREADED:
+        return mt_workload(name, scale=scale, num_threads=num_threads)
+    raise SystemExit("Unknown workload %r; see `repro list-workloads`"
+                     % name)
+
+
+def cmd_run(args):
+    config = _resolve_config(args)
+    workload = _resolve_workload(args.workload, args.scale, args.threads)
+    threads = workload.make_threads(
+        target_instrs=args.instrs,
+        num_threads=args.threads or workload.num_threads)
+    sim = ZSim(config, threads=threads, contention_model=args.contention)
+    result = sim.run()
+    print("workload %s on %s (%d cores, %s, %s contention)"
+          % (workload.name, config.name, config.num_cores,
+             config.core.model, args.contention))
+    print("  instrs  : %d" % result.instrs)
+    print("  cycles  : %d" % result.cycles)
+    print("  IPC     : %.3f" % result.ipc)
+    print("  MIPS    : %.3f" % result.mips)
+    for level in ("l1i", "l1d", "l2", "l3"):
+        print("  %s MPKI: %.2f" % (level.upper().ljust(4),
+                                   result.core_mpki(level)))
+    if args.stats_out:
+        with open(args.stats_out, "w") as handle:
+            handle.write(result.stats().to_json(indent=2))
+        print("stats written to %s" % args.stats_out)
+    return 0
+
+
+def cmd_validate(args):
+    from repro.harness.validation import validate_workload
+    config = _resolve_config(args)
+    workload = _resolve_workload(args.workload, args.scale, args.threads)
+    row = validate_workload(config, workload, target_instrs=args.instrs,
+                            num_threads=args.threads)
+    for key in ("ipc_real", "ipc_zsim", "perf_error", "tlb_mpki",
+                "l1d_mpki_err", "l3_mpki_err", "branch_mpki_err"):
+        value = row[key]
+        print("  %-16s %s" % (key,
+                              "%.4f" % value
+                              if isinstance(value, float) else value))
+    return 0
+
+
+def cmd_list_workloads(_args):
+    from repro.workloads import (
+        PARSEC,
+        SPEC_CPU2006,
+        SPEC_OMP,
+        SPLASH2,
+    )
+    print("SPEC CPU2006-like (single-threaded):")
+    print("  " + " ".join(SPEC_CPU2006))
+    print("PARSEC-like:")
+    print("  " + " ".join(PARSEC))
+    print("SPLASH-2-like:")
+    print("  " + " ".join(SPLASH2))
+    print("SPEC OMP-like:")
+    print("  " + " ".join(SPEC_OMP))
+    print("Other: stream")
+    return 0
+
+
+def cmd_table1(_args):
+    from repro.harness import table1
+    print(table1.render())
+    return 0
+
+
+def cmd_experiment(args):
+    from repro.config import westmere
+    from repro.stats import format_table
+
+    if args.name == "fig5":
+        from repro.harness.validation import spec_validation
+        from repro.workloads import SPEC_CPU2006
+        names = SPEC_CPU2006[:args.limit] if args.limit else SPEC_CPU2006
+        rows = spec_validation(westmere(num_cores=1), names=names,
+                               scale=args.scale,
+                               target_instrs=args.instrs)
+        print(format_table(
+            ["app", "IPC real", "IPC zsim", "perf err"],
+            [[r["name"], "%.3f" % r["ipc_real"],
+              "%.3f" % r["ipc_zsim"],
+              "%+.1f%%" % (100 * r["perf_error"])] for r in rows],
+            title="Figure 5 (scale %.3g)" % args.scale))
+        return 0
+    if args.name == "fig6-stream":
+        from repro.harness.validation import stream_scalability
+        curves = stream_scalability(
+            lambda n: westmere(num_cores=max(n, 1), core_model="ooo"),
+            (1, 2, 4, 6), scale=args.scale, target_instrs=args.instrs)
+        order = ["none", "md1", "weave", "dramsim", "real"]
+        rows = [[n] + ["%.2f" % curves[m][i][1] for m in order]
+                for i, n in enumerate((1, 2, 4, 6))]
+        print(format_table(["threads"] + order, rows,
+                           title="Figure 6 (right)"))
+        return 0
+    if args.name == "mt-validation":
+        from repro.harness.validation import mt_validation
+        from repro.workloads import MULTITHREADED
+        names = [n for n in MULTITHREADED if n != "stream"]
+        if args.limit:
+            names = names[:args.limit]
+        rows = mt_validation(westmere(num_cores=6), names,
+                             scale=args.scale,
+                             target_instrs=args.instrs)
+        print(format_table(
+            ["workload", "perf err"],
+            [[r["name"], "%+.1f%%" % (100 * r["perf_error"])]
+             for r in rows], title="Figure 6 (left)"))
+        return 0
+    raise SystemExit("Unknown experiment %r (have: fig5, fig6-stream, "
+                     "mt-validation)" % args.name)
+
+
+def build_parser():
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="ZSim reproduction: bound-weave multicore simulator")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_common(p):
+        p.add_argument("--config", default="westmere",
+                       help="preset (%s) or JSON config path"
+                       % "/".join(PRESETS))
+        p.add_argument("--cores", type=int, default=None)
+        p.add_argument("--core-model", choices=("simple", "ooo"),
+                       default=None)
+        p.add_argument("--workload", default="blackscholes")
+        p.add_argument("--scale", type=float, default=1 / 32,
+                       help="footprint scale factor")
+        p.add_argument("--instrs", type=int, default=100_000)
+        p.add_argument("--threads", type=int, default=None)
+
+    run = sub.add_parser("run", help="simulate a workload")
+    add_common(run)
+    run.add_argument("--contention", choices=CONTENTION_MODELS,
+                     default="weave")
+    run.add_argument("--stats-out", default=None,
+                     help="write the stats tree as JSON")
+    run.set_defaults(func=cmd_run)
+
+    val = sub.add_parser("validate",
+                         help="compare zsim vs the reference machine")
+    add_common(val)
+    val.set_defaults(func=cmd_validate)
+
+    lw = sub.add_parser("list-workloads", help="list synthetic suites")
+    lw.set_defaults(func=cmd_list_workloads)
+
+    t1 = sub.add_parser("table1", help="print the simulator matrix")
+    t1.set_defaults(func=cmd_table1)
+
+    exp = sub.add_parser("experiment",
+                         help="run one of the paper's experiments")
+    exp.add_argument("name",
+                     choices=("fig5", "fig6-stream", "mt-validation"))
+    exp.add_argument("--scale", type=float, default=1 / 32)
+    exp.add_argument("--instrs", type=int, default=25_000)
+    exp.add_argument("--limit", type=int, default=0,
+                     help="restrict to the first N workloads")
+    exp.set_defaults(func=cmd_experiment)
+    return parser
+
+
+def main(argv=None):
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

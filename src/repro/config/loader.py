@@ -1,0 +1,114 @@
+"""Config serialization: SystemConfig <-> plain dicts / JSON files.
+
+zsim drives simulations from .cfg files; the equivalent here is a JSON
+document mirroring the dataclass tree.  Unknown keys are rejected (typos
+in config files must fail loudly), nested sections are optional, and
+presets can be used as bases::
+
+    cfg = load_config("chip.json", base=westmere())
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+
+from repro.config.system import (
+    BoundWeaveConfig,
+    BranchPredictorConfig,
+    CacheConfig,
+    CoreConfig,
+    DDR3Timing,
+    MemoryConfig,
+    NetworkConfig,
+    SystemConfig,
+)
+
+_SECTION_TYPES = {
+    "core": CoreConfig,
+    "l1i": CacheConfig,
+    "l1d": CacheConfig,
+    "l2": CacheConfig,
+    "l3": CacheConfig,
+    "network": NetworkConfig,
+    "memory": MemoryConfig,
+    "boundweave": BoundWeaveConfig,
+    "bpred": BranchPredictorConfig,
+    "timing": DDR3Timing,
+}
+
+
+def config_to_dict(config):
+    """Serialize any config dataclass to a plain dict (None elided)."""
+    out = dataclasses.asdict(config)
+
+    def prune(node):
+        if isinstance(node, dict):
+            return {k: prune(v) for k, v in node.items() if v is not None}
+        return node
+    return prune(out)
+
+
+def _build(cls, data, path):
+    if data is None:
+        return None
+    if not isinstance(data, dict):
+        raise ValueError("Config section %r must be an object, got %r"
+                         % (path, type(data).__name__))
+    fields = {f.name: f for f in dataclasses.fields(cls)}
+    kwargs = {}
+    for key, value in data.items():
+        if key not in fields:
+            raise ValueError("Unknown config key %r in section %r "
+                             "(valid: %s)"
+                             % (key, path, ", ".join(sorted(fields))))
+        section_cls = _SECTION_TYPES.get(key)
+        if section_cls is not None and isinstance(value, dict):
+            kwargs[key] = _build(section_cls, value,
+                                 "%s.%s" % (path, key))
+        else:
+            kwargs[key] = value
+    return cls(**kwargs)
+
+
+def config_from_dict(data, base=None):
+    """Build a :class:`SystemConfig` from a dict.
+
+    With ``base``, the dict's keys override the base config (sections
+    merge shallowly: giving ``{"l3": {...}}`` replaces the whole L3
+    section).
+    """
+    if base is not None:
+        merged = config_to_dict(base)
+        for key, value in data.items():
+            if isinstance(value, dict) and isinstance(merged.get(key),
+                                                      dict):
+                merged[key] = {**merged[key], **value}
+            else:
+                merged[key] = value
+        data = merged
+    # hetero_cores is a core_id -> CoreConfig mapping; JSON keys are
+    # strings, so coerce.
+    data = dict(data)
+    hetero = data.pop("hetero_cores", None)
+    config = _build(SystemConfig, data, "system")
+    if hetero:
+        config.hetero_cores = {
+            int(core_id): (_build(CoreConfig, core_cfg,
+                                  "hetero_cores[%s]" % core_id)
+                           if isinstance(core_cfg, dict) else core_cfg)
+            for core_id, core_cfg in hetero.items()}
+    return config.validate()
+
+
+def save_config(config, path):
+    """Write a config as JSON."""
+    with open(path, "w") as handle:
+        json.dump(config_to_dict(config), handle, indent=2,
+                  sort_keys=True)
+
+
+def load_config(path, base=None):
+    """Load a :class:`SystemConfig` from a JSON file."""
+    with open(path) as handle:
+        return config_from_dict(json.load(handle), base=base)

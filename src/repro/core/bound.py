@@ -1,0 +1,141 @@
+"""The bound phase: parallel zero-load simulation with an interval barrier.
+
+Each interval, every core is simulated (with its attached thread) until
+its cycle reaches the interval limit, assuming zero-load memory latencies
+and recording weave traces.  The interval barrier provides the three
+properties of Section 3.2.1:
+
+1. *Skew limiting* — no core runs past the interval limit.
+2. *Moderated parallelism* — at most ``host_threads`` cores are "awake"
+   at once; finishing a core wakes the next (the host model measures the
+   resulting makespan, see :mod:`repro.core.host`).
+3. *No systematic bias* — the wake-up order is reshuffled every interval,
+   which also injects the non-determinism that makes results robust.
+
+Blocking syscalls integrate through join/leave: a blocked thread leaves
+the barrier (its core can pick up other work or idle to the limit) and
+joins again once runnable.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+
+from repro.cpu.base import RunOutcome
+from repro.virt.scheduler import SyscallResult
+from repro.virt.syscalls import GetTime, Syscall
+
+
+class BoundPhase:
+    """Drives all cores through one interval at a time."""
+
+    def __init__(self, cores, scheduler, shuffle=True, seed=0):
+        self.cores = cores
+        self.scheduler = scheduler
+        self.shuffle = shuffle
+        self.rng = random.Random(seed)
+        self._order = list(range(len(cores)))
+        self.intervals = 0
+        self.syscalls = 0
+
+    def run_interval(self, limit_cycle):
+        """Simulate every core up to ``limit_cycle``.  Returns the list of
+        (core_id, host_seconds) in wake-up order for the host model.
+
+        Cores whose thread blocks (or that start idle) are revisited
+        after the first pass: threads woken mid-interval — by another
+        core's futex wake, a released lock, a barrier, or a due sleep —
+        rejoin the *current* interval on an idle core, like zsim's
+        join/leave barrier.  Only cores still idle at the end of the
+        interval skip to the limit.
+        """
+        self.intervals += 1
+        order = self._order
+        if self.shuffle:
+            self.rng.shuffle(order)
+        timings = []
+        idle = []
+        for core_id in order:
+            start = time.perf_counter()
+            core = self.cores[core_id]
+            if not self._run_core(core, limit_cycle):
+                idle.append(core)
+            timings.append((core_id, time.perf_counter() - start))
+        # Second-chance passes: drain threads that became runnable
+        # during this interval onto the idle cores.
+        while idle:
+            self.scheduler.wake_sleepers_until(limit_cycle)
+            idle.sort(key=lambda c: c.cycle)
+            progress = False
+            still_idle = []
+            for core in idle:
+                start = time.perf_counter()
+                ran = self._run_core(core, limit_cycle)
+                timings.append((core.core_id,
+                                time.perf_counter() - start))
+                if ran:
+                    progress = True
+                else:
+                    still_idle.append(core)
+            idle = still_idle
+            if not progress:
+                break
+        # Cores still idle keep their clocks frozen: they resume from a
+        # thread's wake cycle when work appears, and the final cycle
+        # count reflects work, not idle padding.
+        return timings
+
+    # ------------------------------------------------------------------
+
+    def _run_core(self, core, limit_cycle):
+        """Run one core toward the limit; returns True when the core
+        consumed its interval (reached the limit), False when it went
+        idle early — idle cores get second-chance passes so threads
+        woken later in the interval can still run on them."""
+        scheduler = self.scheduler
+        core_id = core.core_id
+        while core.cycle < limit_cycle:
+            if not core.has_thread:
+                thread = scheduler.pick_thread(core_id, core.cycle)
+                if thread is None:
+                    return False
+                core.skip_to(thread.wake_cycle)
+                core.attach(thread.stream)
+            outcome = core.run_until(limit_cycle)
+            if outcome == RunOutcome.LIMIT:
+                return True
+            thread = scheduler.deschedule(core_id, core.cycle)
+            if outcome == RunOutcome.DONE:
+                core.detach()
+                if thread is not None:
+                    scheduler.thread_done(thread)
+                continue
+            if outcome == RunOutcome.SYSCALL:
+                self.syscalls += 1
+                syscall = core.pending_syscall
+                core.pending_syscall = None
+                if not isinstance(syscall, Syscall):
+                    syscall = GetTime()  # bare SYSCALL µop: non-blocking
+                result = scheduler.handle_syscall(thread, syscall,
+                                                  core.cycle)
+                if result == SyscallResult.CONTINUE:
+                    # Non-blocking syscalls appear instantaneous; keep
+                    # running the same thread.
+                    scheduler.reattach(core_id, thread)
+                    continue
+                # Blocked or exited: the thread leaves the barrier.
+                core.detach()
+                continue
+            if outcome == RunOutcome.BLOCKED:
+                return False
+        return True
+
+    def preempt(self, limit_cycle):
+        """Round-robin preemption at the interval boundary."""
+        for core in self.cores:
+            if not core.has_thread:
+                continue
+            thread = self.scheduler.preempt_if_due(core.core_id, core.cycle)
+            if thread is not None:
+                core.detach()

@@ -1,0 +1,89 @@
+"""Weave-phase domains: vertical slices of the chip, one event queue each.
+
+Components (cores, shared cache banks, memory controllers) are statically
+partitioned into domains by tile (Section 3.2.2, Figure 3).  Each domain
+owns a priority queue of events and — in real zsim — a host thread; here
+domains are executed cooperatively by the engine, which always advances
+the domain with the earliest pending event (a conservative, deterministic
+emulation of the parallel execution).
+"""
+
+from __future__ import annotations
+
+import heapq
+
+
+class Domain:
+    """One weave domain: an event priority queue with its own clock."""
+
+    def __init__(self, domain_id):
+        self.domain_id = domain_id
+        self._queue = []
+        self._seq = 0
+        self.current_cycle = 0
+        self.events_executed = 0
+        self.crossings = 0
+        self.crossing_requeues = 0
+
+    def push(self, cycle, item):
+        self._seq += 1
+        heapq.heappush(self._queue, (cycle, self._seq, item))
+
+    def pop(self):
+        cycle, _seq, item = heapq.heappop(self._queue)
+        if cycle > self.current_cycle:
+            self.current_cycle = cycle
+        return cycle, item
+
+    def head_cycle(self):
+        return self._queue[0][0] if self._queue else None
+
+    def __len__(self):
+        return len(self._queue)
+
+    def reset_interval_stats(self):
+        self.events_executed = 0
+        self.crossings = 0
+        self.crossing_requeues = 0
+
+    def __repr__(self):
+        return "Domain(%d, %d queued)" % (self.domain_id, len(self._queue))
+
+
+class CoreWeave:
+    """The weave-phase stand-in for a core: core events have no service
+    time and no occupancy; the component exists to give core events a
+    domain and to accumulate per-core contention delay."""
+
+    def __init__(self, name, core_id, tile=0):
+        self.name = name
+        self.core_id = core_id
+        self.tile = tile
+        self.domain = 0
+        self.events_executed = 0
+
+    def occupy(self, cycle, kind, line=0):
+        self.events_executed += 1
+        return cycle
+
+    def zero_load_service(self, kind):
+        return 0
+
+    def reset(self):
+        self.events_executed = 0
+
+    def __repr__(self):
+        return "CoreWeave(%s)" % self.name
+
+
+def assign_domains(components, num_tiles, num_domains):
+    """Statically partition components into domains by tile (vertical
+    slices).  Returns the list of :class:`Domain` objects."""
+    if num_domains <= 0:
+        num_domains = max(1, num_tiles)
+    num_domains = min(num_domains, max(1, num_tiles))
+    tiles_per_domain = max(1, (num_tiles + num_domains - 1) // num_domains)
+    domains = [Domain(i) for i in range(num_domains)]
+    for comp in components:
+        comp.domain = min(comp.tile // tiles_per_domain, num_domains - 1)
+    return domains

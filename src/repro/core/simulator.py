@@ -1,0 +1,272 @@
+"""ZSim: the top-level bound-weave simulator.
+
+Ties every subsystem together: the memory hierarchy (bound models +
+weave components), core timing models, the scheduler and virtualization
+layer, the interval barrier, and the weave engine.  Supports the four
+model sets of the evaluation (IPC1/OOO cores x contention on/off) plus
+the two alternative contention models of Figure 6 (M/D/1 queueing in the
+bound phase, and the DRAMSim-style cycle-driven model in the weave
+phase).
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.core.bound import BoundPhase
+from repro.core.domains import CoreWeave
+from repro.core.host import HostModel
+from repro.core.weave import WeaveEngine
+from repro.cpu import make_core
+from repro.memory.contention import MD1Model
+from repro.memory.dramsim import DRAMSimWeave
+from repro.memory.hierarchy import MemoryHierarchy
+from repro.stats.counters import StatsNode
+from repro.virt.process import SimThread
+from repro.virt.scheduler import Scheduler
+from repro.virt.sysview import SystemView
+
+CONTENTION_MODELS = ("none", "md1", "weave", "dramsim")
+
+
+class _MD1Memory:
+    """Hierarchy wrapper adding Graphite-style M/D/1 queueing latency to
+    memory accesses in the bound phase (no weave phase)."""
+
+    def __init__(self, hierarchy):
+        self.hierarchy = hierarchy
+        self.config = hierarchy.config
+        mem = hierarchy.config.memory
+        ratio = max(1.0, hierarchy.config.core.freq_mhz / mem.bus_mhz)
+        # The contended resource is each channel's data bus.
+        service = max(2, int(round(4 * ratio)))
+        channels = mem.controllers * mem.channels_per_controller
+        self._models = [MD1Model(service) for _ in range(channels)]
+        self._channels = channels
+
+    def access(self, core_id, addr, write, cycle=0, ifetch=False):
+        result = self.hierarchy.access(core_id, addr, write, cycle, ifetch)
+        if result.missed_levels and self._reaches_memory(result):
+            line = result.line
+            model = self._models[line % self._channels]
+            wait = model.latency(cycle) - model.service
+            result.latency += int(wait)
+        return result
+
+    @staticmethod
+    def _reaches_memory(result):
+        levels = result.missed_levels
+        return levels and (levels[-1] == "l3" or "l3" not in levels
+                           and levels[-1] in ("l2", "l1d", "l1i"))
+
+    def __getattr__(self, name):
+        return getattr(self.hierarchy, name)
+
+
+class SimulationResult:
+    """Everything a harness needs from one simulation run."""
+
+    def __init__(self, sim, wall_seconds):
+        self.config = sim.config
+        self.cores = sim.cores
+        self.hierarchy = sim.hierarchy
+        self.scheduler = sim.scheduler
+        self.host_model = sim.host_model
+        self.weave_stats = sim.weave.stats if sim.weave else None
+        self.wall_seconds = wall_seconds
+        self.stat_samples = list(sim.stat_samples)
+        self.instrs = sum(core.instrs for core in sim.cores)
+        self.uops = sum(core.uops for core in sim.cores)
+        self.cycles = max((core.cycle for core in sim.cores), default=0)
+        self.intervals = sim.bound.intervals
+
+    @property
+    def mips(self):
+        """Simulation speed in simulated MIPS (the paper's metric)."""
+        if self.wall_seconds <= 0:
+            return 0.0
+        return self.instrs / self.wall_seconds / 1e6
+
+    @property
+    def ipc(self):
+        return self.instrs / self.cycles if self.cycles else 0.0
+
+    @property
+    def perf(self):
+        """1/time performance metric for multithreaded validation
+        (the paper measures perf = 1/time, not IPC)."""
+        return 1.0 / self.cycles if self.cycles else 0.0
+
+    def core_mpki(self, level):
+        """Aggregate MPKI across cores at one cache level."""
+        misses = sum({"l1i": c.l1i_misses, "l1d": c.l1d_misses,
+                      "l2": c.l2_misses, "l3": c.l3_misses}[level]
+                     for c in self.cores)
+        if self.instrs == 0:
+            return 0.0
+        return 1000.0 * misses / self.instrs
+
+    def branch_mpki(self):
+        mispredicts = sum(getattr(c, "mispredicts", 0) for c in self.cores)
+        if self.instrs == 0:
+            return 0.0
+        return 1000.0 * mispredicts / self.instrs
+
+    def stats(self):
+        root = StatsNode("sim")
+        root.set("instrs", self.instrs)
+        root.set("uops", self.uops)
+        root.set("cycles", self.cycles)
+        root.set("intervals", self.intervals)
+        for core in self.cores:
+            core.fill_stats(root.child("core%d" % core.core_id))
+        self.hierarchy.fill_stats(root.child("mem"))
+        return root
+
+
+class ZSim:
+    """The simulator (one instance per simulation run)."""
+
+    def __init__(self, config, threads=(), contention_model="weave",
+                 profiler=None, host_threads=HostModel.DEFAULT_THREADS,
+                 mem_wrapper=None, stats_period_intervals=0):
+        if contention_model not in CONTENTION_MODELS:
+            raise ValueError("Unknown contention model: %r"
+                             % (contention_model,))
+        config.validate()
+        self.config = config
+        self.contention_model = contention_model
+        build_weave = contention_model in ("weave", "dramsim")
+        self.hierarchy = MemoryHierarchy(config, build_weave=build_weave,
+                                         profiler=profiler)
+        if contention_model == "dramsim":
+            self._swap_in_dramsim()
+        mem = self.hierarchy
+        if contention_model == "md1":
+            mem = _MD1Memory(self.hierarchy)
+        if mem_wrapper is not None:
+            mem = mem_wrapper(mem)
+        self.mem = mem
+        # Heterogeneous chips: per-core config overrides (e.g. a few
+        # OOO cores plus many simple cores sharing the L3).
+        overrides = config.hetero_cores or {}
+        self.cores = [make_core(i, mem, overrides.get(i, config.core))
+                      for i in range(config.num_cores)]
+        self.scheduler = Scheduler(config.num_cores,
+                                   system_view=SystemView(config))
+        bw = config.boundweave
+        self.bound = BoundPhase(self.cores, self.scheduler,
+                                shuffle=bw.shuffle_wake_order, seed=bw.seed)
+        self.weave = None
+        self.core_weaves = []
+        if build_weave:
+            self.core_weaves = [
+                CoreWeave("core%d" % i, i, tile=config.core_tile(i))
+                for i in range(config.num_cores)]
+            mlp_window = {}
+            for i in range(config.num_cores):
+                model = overrides.get(i, config.core).model
+                mlp_window[i] = (1 if model == "simple"
+                                 else bw.ooo_mlp_window)
+            self.weave = WeaveEngine(
+                self.core_weaves, self.hierarchy.weave_components,
+                config.num_tiles, bw.num_domains,
+                crossing_deps=bw.crossing_dependencies,
+                mlp_window=mlp_window)
+        self.host_model = HostModel(host_threads)
+        #: Periodic stats sampling (zsim's periodic HDF5 dumps): every
+        #: N intervals a (cycle, instrs) sample is appended.
+        self.stats_period_intervals = stats_period_intervals
+        self.stat_samples = []
+        for thread in threads:
+            self.add_thread(thread)
+
+    # ------------------------------------------------------------------
+
+    def add_thread(self, thread):
+        if not isinstance(thread, SimThread):
+            raise TypeError("add_thread expects a SimThread; wrap streams "
+                            "with repro.virt.SimThread")
+        self.scheduler.add_thread(thread)
+
+    def _swap_in_dramsim(self):
+        """Replace the native memory-controller weave models with the
+        cycle-driven DRAMSim-style model (the 'glue code' experiment)."""
+        mainmem = self.hierarchy.mainmem
+        replaced = []
+        for idx, weave in enumerate(mainmem.ctrl_weaves):
+            dram = DRAMSimWeave("dramsim%d" % idx, self.config.memory,
+                                self.config.core.freq_mhz,
+                                tile=mainmem.controller_tile(idx))
+            mainmem.ctrl_weaves[idx] = dram
+            replaced.append((weave, dram))
+        components = self.hierarchy.weave_components
+        for old, new in replaced:
+            if old in components:
+                components[components.index(old)] = new
+
+    # ------------------------------------------------------------------
+
+    def run(self, max_instrs=None, max_cycles=None, max_intervals=None):
+        """Run to completion (all threads done) or to a limit.  Returns a
+        :class:`SimulationResult`."""
+        interval = self.config.boundweave.interval_cycles
+        scheduler = self.scheduler
+        limit = interval
+        start_wall = time.perf_counter()
+        intervals_run = 0
+        while True:
+            if scheduler.all_done:
+                break
+            if max_intervals is not None and intervals_run >= max_intervals:
+                break
+            if max_instrs is not None and \
+                    sum(c.instrs for c in self.cores) >= max_instrs:
+                break
+            if max_cycles is not None and \
+                    max(c.cycle for c in self.cores) >= max_cycles:
+                break
+            bound_times = self.bound.run_interval(limit)
+            weave_seconds = 0.0
+            domain_events = []
+            if self.weave is not None:
+                traces = {}
+                for core in self.cores:
+                    if core.trace:
+                        traces[core.core_id] = core.take_trace()
+                weave_start = time.perf_counter()
+                delays = self.weave.run_interval(traces)
+                weave_seconds = time.perf_counter() - weave_start
+                domain_events = self.weave.last_interval_domain_events
+                for core_id, delay in delays.items():
+                    self.cores[core_id].apply_delay(delay)
+            else:
+                for core in self.cores:
+                    core.trace.clear()
+            self.host_model.record_interval(bound_times, domain_events,
+                                            weave_seconds)
+            self.bound.preempt(limit)
+            intervals_run += 1
+            if (self.stats_period_intervals
+                    and intervals_run % self.stats_period_intervals == 0):
+                self.stat_samples.append(
+                    (max(c.cycle for c in self.cores),
+                     sum(c.instrs for c in self.cores)))
+            limit = self._advance_limit(limit, interval)
+        return SimulationResult(self, time.perf_counter() - start_wall)
+
+    def _advance_limit(self, limit, interval):
+        scheduler = self.scheduler
+        min_cycle = min(core.cycle for core in self.cores)
+        next_limit = max(limit, min_cycle) + interval
+        if (not scheduler.all_done
+                and scheduler.runnable_count(next_limit) == 0
+                and not any(c.has_thread for c in self.cores)):
+            wake = scheduler.next_wake_cycle()
+            if wake is None:
+                blocked = [t.name for t in scheduler.live_threads]
+                raise RuntimeError(
+                    "Deadlock: no runnable threads, no sleepers; "
+                    "blocked threads: %s" % blocked)
+            next_limit = max(next_limit, wake + interval)
+        return next_limit

@@ -1,0 +1,225 @@
+"""The weave phase: parallel event-driven simulation of bound traces.
+
+Takes the per-core traces recorded in the bound phase (accesses that
+escaped the private cache levels, each with its chain of component visits
+at zero-load offsets) and replays them through the weave timing models in
+full order, computing the contention delays the bound phase ignored.
+
+Event-graph construction follows Figure 4: per access, a core request
+event, one event per component visited, and a core response event, all
+serially linked.  Consecutive accesses of one core are chained through an
+MLP window: access *i* cannot issue before the response of access
+*i - mlp*, which serializes blocking (IPC1) cores and preserves overlap
+for OOO cores.  Writebacks hang off the chain as side events.
+
+Domains execute cooperatively: the engine always advances the domain with
+the earliest pending event — a deterministic, conservative emulation of
+zsim's one-thread-per-domain execution.  Cross-domain dependencies are
+tracked as domain-crossing events with requeue accounting, including the
+paper's crossing-dependency optimization (and its ablation).
+"""
+
+from __future__ import annotations
+
+from repro.core.events import EventPool
+from repro.core.domains import Domain, assign_domains
+
+
+class _Crossing:
+    """Premature-synchronization probe for a cross-domain edge (only
+    materialized when the crossing-dependency optimization is off)."""
+
+    __slots__ = ("parent", "gap")
+
+    def __init__(self, parent, gap):
+        self.parent = parent
+        self.gap = gap
+
+
+class WeaveStats:
+    """Aggregate weave-phase statistics."""
+
+    def __init__(self):
+        self.intervals = 0
+        self.events = 0
+        self.crossings = 0
+        self.crossing_requeues = 0
+        self.total_delay = 0
+
+    def __repr__(self):
+        return ("WeaveStats(intervals=%d, events=%d, crossings=%d, "
+                "requeues=%d, delay=%d)"
+                % (self.intervals, self.events, self.crossings,
+                   self.crossing_requeues, self.total_delay))
+
+
+class WeaveEngine:
+    """Builds and executes the weave-phase event graph per interval."""
+
+    def __init__(self, core_weaves, components, num_tiles, num_domains=0,
+                 crossing_deps=True, mlp_window=None, journal=None):
+        self.core_weaves = core_weaves
+        self.components = list(components)
+        self.crossing_deps = crossing_deps
+        #: Per-core MLP window: how many accesses may overlap.
+        self.mlp_window = mlp_window or {}
+        self.domains = assign_domains(
+            list(core_weaves) + self.components, num_tiles, num_domains)
+        self.pool = EventPool()
+        self.stats = WeaveStats()
+        #: Optional list collecting (component, kind, min_cycle, start,
+        #: done, core_id) per executed event — the Figure 4 trace, for
+        #: debugging and structural tests.
+        self.journal = journal
+        #: Per-domain executed-event counts of the last interval, for the
+        #: host-parallelism model.
+        self.last_interval_domain_events = [0] * len(self.domains)
+
+    # ------------------------------------------------------------------
+
+    def run_interval(self, traces):
+        """Simulate one interval.  ``traces`` maps core_id -> list of
+        (issue_cycle, AccessResult).  Returns {core_id: delay}."""
+        self.stats.intervals += 1
+        for domain in self.domains:
+            domain.reset_interval_stats()
+        events, last_resp = self._build_events(traces)
+        if events:
+            self._execute(events)
+        delays = {}
+        for core_id, resp in last_resp.items():
+            delay = (resp.done or resp.min_cycle) - resp.min_cycle
+            delays[core_id] = max(0, delay)
+            self.stats.total_delay += delays[core_id]
+        self.last_interval_domain_events = [
+            d.events_executed for d in self.domains]
+        for domain in self.domains:
+            self.stats.events += domain.events_executed
+            self.stats.crossings += domain.crossings
+            self.stats.crossing_requeues += domain.crossing_requeues
+        self.pool.free_all(events)
+        return delays
+
+    # ------------------------------------------------------------------
+
+    def _build_events(self, traces):
+        pool = self.pool
+        events = []
+        last_resp = {}
+        for core_id, trace in traces.items():
+            if not trace:
+                continue
+            core_weave = self.core_weaves[core_id]
+            mlp = self.mlp_window.get(core_id, 1)
+            resp_history = []
+            for issue_cycle, result in trace:
+                req = pool.alloc(core_weave, "REQ", result.line,
+                                 issue_cycle, 0, core_id)
+                events.append(req)
+                if len(resp_history) >= mlp:
+                    resp_history[-mlp].link(req)
+                prev = req
+                for comp, offset, kind in result.steps:
+                    ev = pool.alloc(comp, kind, result.line,
+                                    issue_cycle + offset,
+                                    comp.zero_load_service(kind), core_id)
+                    events.append(ev)
+                    prev.link(ev)
+                    prev = ev
+                resp = pool.alloc(core_weave, "RESP", result.line,
+                                  issue_cycle + result.latency, 0, core_id)
+                resp.is_response = True
+                events.append(resp)
+                prev.link(resp)
+                anchor = events[-len(result.steps) - 1] if result.steps \
+                    else req
+                for comp, offset, kind in result.wbacks:
+                    wb = pool.alloc(comp, kind, result.line,
+                                    issue_cycle + offset,
+                                    comp.zero_load_service(kind), core_id)
+                    events.append(wb)
+                    anchor.link(wb)
+                resp_history.append(resp)
+                if len(resp_history) > mlp + 64:
+                    del resp_history[:32]
+                last_resp[core_id] = resp
+        return events, last_resp
+
+    # ------------------------------------------------------------------
+
+    def _execute(self, events):
+        domains = self.domains
+        # Enqueue roots; materialize crossing probes if the optimization
+        # is disabled (ablation: premature synchronization).
+        for event in events:
+            if event.parents_left == 0:
+                domains[event.domain].push(event.min_cycle, event)
+            elif not self.crossing_deps:
+                # This event will be delivered by its parent; if the edge
+                # crosses domains, probe eagerly from the child's side.
+                pass
+        if not self.crossing_deps:
+            for event in events:
+                for child, gap in event.children:
+                    if child.domain != event.domain:
+                        probe = _Crossing(event, gap)
+                        domains[child.domain].push(child.min_cycle, probe)
+
+        while True:
+            best = None
+            best_cycle = None
+            for domain in domains:
+                head = domain.head_cycle()
+                if head is not None and (best_cycle is None
+                                         or head < best_cycle):
+                    best_cycle = head
+                    best = domain
+            if best is None:
+                break
+            cycle, item = best.pop()
+            if isinstance(item, _Crossing):
+                self._run_crossing(best, cycle, item)
+            else:
+                self._run_event(best, cycle, item)
+
+    def _run_event(self, domain, cycle, event):
+        start = cycle if cycle >= event.ready else event.ready
+        event.done = event.component.occupy(start, event.kind, event.line)
+        domain.events_executed += 1
+        if self.journal is not None:
+            self.journal.append((event.component.name, event.kind,
+                                 event.min_cycle, start, event.done,
+                                 event.core_id))
+        for child, gap in event.children:
+            child.parents_left -= 1
+            candidate = event.done + gap
+            if candidate > child.ready:
+                child.ready = candidate
+            if child.parents_left == 0:
+                target = self.domains[child.domain]
+                if child.domain != event.domain:
+                    target.crossings += 1
+                enqueue_at = child.ready if child.ready > child.min_cycle \
+                    else child.min_cycle
+                target.push(enqueue_at, child)
+
+    def _run_crossing(self, domain, cycle, crossing):
+        parent = crossing.parent
+        if parent.done is not None:
+            return  # parent finished; the real delivery already happened
+        # Premature synchronization: requeue at the parent domain's
+        # current cycle plus the parent->child delay (Section 3.2.2).
+        parent_domain = self.domains[parent.domain]
+        requeue = max(cycle + 1,
+                      parent_domain.current_cycle + max(1, crossing.gap))
+        domain.crossing_requeues += 1
+        domain.push(requeue, crossing)
+
+    # ------------------------------------------------------------------
+
+    def reset(self):
+        for comp in self.components:
+            comp.reset()
+        for core_weave in self.core_weaves:
+            core_weave.reset()
+        self.stats = WeaveStats()

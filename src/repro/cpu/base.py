@@ -1,0 +1,161 @@
+"""Common core-model machinery: stats, instruction fetch, tracing.
+
+Both timing models (IPC1 and OOO) share the same contract with the
+bound-weave engine:
+
+* :meth:`Core.run_until` simulates the attached thread until the core's
+  cycle passes the interval limit, the stream ends, or a syscall is hit.
+* Memory accesses that escape the private levels are appended to
+  ``self.trace`` as ``(issue_cycle, AccessResult)`` for the weave phase.
+* :meth:`Core.apply_delay` applies the weave phase's contention feedback
+  by shifting the core's clocks forward (the delay is always >= 0).
+"""
+
+from __future__ import annotations
+
+from repro.isa.uops import UopType
+
+
+class RunOutcome:
+    """Why :meth:`Core.run_until` returned."""
+
+    LIMIT = "limit"      # reached the interval boundary
+    DONE = "done"        # functional stream exhausted
+    SYSCALL = "syscall"  # hit a syscall; descriptor in Core.pending_syscall
+    BLOCKED = "blocked"  # descheduled (no thread attached)
+
+
+class Core:
+    """Base class for core timing models."""
+
+    def __init__(self, core_id, mem, config):
+        self.core_id = core_id
+        self.mem = mem
+        self.config = config
+        self.stream = None
+        self.pending_syscall = None
+        #: Weave-phase trace: list of (issue_cycle, AccessResult).
+        self.trace = []
+        self.record_all_levels = False
+        # Retired-work counters.
+        self.instrs = 0
+        self.uops = 0
+        self.bbls = 0
+        # Per-core cache miss attribution (MPKI numerators).
+        self.l1i_misses = 0
+        self.l1d_misses = 0
+        self.l2_misses = 0
+        self.l3_misses = 0
+        self.loads = 0
+        self.stores = 0
+        self._line_mask = ~(config_line_bytes(mem) - 1)
+
+    # ------------------------------------------------------------------
+    # Thread attach/detach (driven by the scheduler / engine)
+    # ------------------------------------------------------------------
+
+    def attach(self, stream):
+        """Attach an instrumented BBLExec stream to this core."""
+        self.stream = stream
+
+    def detach(self):
+        stream, self.stream = self.stream, None
+        return stream
+
+    @property
+    def has_thread(self):
+        return self.stream is not None
+
+    # ------------------------------------------------------------------
+    # Interface implemented by subclasses
+    # ------------------------------------------------------------------
+
+    @property
+    def cycle(self):
+        """The core's current completed-work cycle."""
+        raise NotImplementedError
+
+    def run_until(self, limit_cycle):
+        """Simulate until ``self.cycle >= limit_cycle``; returns a
+        :class:`RunOutcome` value."""
+        raise NotImplementedError
+
+    def apply_delay(self, delay):
+        """Weave feedback: shift all clocks forward by ``delay``."""
+        raise NotImplementedError
+
+    def skip_to(self, cycle):
+        """Advance an idle core's clock to ``cycle`` (descheduled time)."""
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # Shared helpers
+    # ------------------------------------------------------------------
+
+    def _account_access(self, result, ifetch=False):
+        """Update per-core MPKI counters from one access result."""
+        if ifetch:
+            if "l1i" in result.missed_levels:
+                self.l1i_misses += 1
+        elif "l1d" in result.missed_levels:
+            self.l1d_misses += 1
+        if "l2" in result.missed_levels:
+            self.l2_misses += 1
+        if "l3" in result.missed_levels:
+            self.l3_misses += 1
+
+    def _record_trace(self, issue_cycle, result):
+        if result.steps or result.wbacks:
+            self.trace.append((issue_cycle, result))
+
+    def take_trace(self):
+        trace, self.trace = self.trace, []
+        return trace
+
+    def fill_stats(self, node):
+        node.set("instrs", self.instrs)
+        node.set("uops", self.uops)
+        node.set("bbls", self.bbls)
+        node.set("cycles", self.cycle)
+        node.set("l1i_misses", self.l1i_misses)
+        node.set("l1d_misses", self.l1d_misses)
+        node.set("l2_misses", self.l2_misses)
+        node.set("l3_misses", self.l3_misses)
+        node.set("loads", self.loads)
+        node.set("stores", self.stores)
+
+    def mpki(self, level):
+        misses = {"l1i": self.l1i_misses, "l1d": self.l1d_misses,
+                  "l2": self.l2_misses, "l3": self.l3_misses}[level]
+        if self.instrs == 0:
+            return 0.0
+        return 1000.0 * misses / self.instrs
+
+    @property
+    def ipc(self):
+        cycle = self.cycle
+        return self.instrs / cycle if cycle > 0 else 0.0
+
+
+def config_line_bytes(mem):
+    """Line size of the attached memory system (64 when unspecified)."""
+    config = getattr(mem, "config", None)
+    if config is not None and hasattr(config, "l1d"):
+        return config.l1d.line_bytes
+    return 64
+
+
+def iter_fetch_lines(address, num_bytes, line_bytes):
+    """Yield the line addresses an instruction fetch touches."""
+    line = address & ~(line_bytes - 1)
+    end = address + num_bytes
+    while line < end:
+        yield line
+        line += line_bytes
+
+
+_SYSCALL_TYPES = (UopType.SYSCALL,)
+
+
+def is_syscall_uop(uop):
+    return uop.type in _SYSCALL_TYPES

@@ -1,0 +1,407 @@
+"""Instruction-driven out-of-order core model (the paper's Figure 1).
+
+The model closely follows the Westmere microarchitecture the paper
+validates against: branch prediction with fixed-penalty recovery,
+instruction fetch with L1I misses, length-predecoder and 4-1-1-1 decoder
+stalls (precomputed per block by the decoder), macro-op fusion, limited
+issue width, dataflow execution with a register scoreboard, exact µop
+port masks and latencies with functional-unit (port) contention, a
+load-store unit with store-to-load forwarding, TSO store ordering and
+fences, and a reorder buffer of limited size and width.
+
+It is *instruction-driven*: the core model is called once per µop and
+simulates all stages for that µop by advancing per-stage clocks
+(fetch / decode / issue / retire), rather than maintaining per-cycle
+pipeline state.  Interdependencies between stage clocks (ROB fill, issue
+stalls, mispredictions, I-cache misses) keep the timing honest.
+
+Deliberate simplifications, matching the paper: wrong-path instructions
+are not executed (only their fetch penalty is modeled, since Westmere
+recovers in a fixed number of cycles); there is no BTB model
+(unconditional branches never mispredict); stores access the memory
+system at their store-address execution cycle.
+"""
+
+from __future__ import annotations
+
+from repro.cpu.base import Core, RunOutcome, iter_fetch_lines
+from repro.cpu.bpred import BranchPredictor
+from repro.isa.registers import NUM_REGS
+from repro.isa.uops import UopType
+
+
+class PortWindow:
+    """Tracks execution-port occupancy over future cycles.
+
+    A µop scheduled with mask M lands at the first cycle >= its dispatch
+    cycle that has a free port in M ("schedule in first cycle >
+    dispatchCycle that has a free port compatible with uop ports").
+    """
+
+    PRUNE_PERIOD = 4096
+
+    def __init__(self):
+        self._used = {}
+        self._ops = 0
+        self._prune_before = 0
+
+    def schedule(self, min_cycle, portmask):
+        used = self._used
+        cycle = min_cycle
+        while True:
+            occupancy = used.get(cycle, 0)
+            free = portmask & ~occupancy
+            if free:
+                used[cycle] = occupancy | (free & -free)
+                self._ops += 1
+                if self._ops >= self.PRUNE_PERIOD:
+                    self._prune(min_cycle)
+                return cycle
+            cycle += 1
+
+    def _prune(self, horizon):
+        self._ops = 0
+        if horizon <= self._prune_before:
+            return
+        self._used = {c: m for c, m in self._used.items() if c >= horizon}
+        self._prune_before = horizon
+
+
+class OOOCore(Core):
+    """Westmere-class OOO core with instruction-driven timing."""
+
+    def __init__(self, core_id, mem, config):
+        super().__init__(core_id, mem, config)
+        self.bpred = BranchPredictor(config.bpred)
+        self._fetch_clock = 0
+        self._decode_clock = 0
+        self._issue_clock = 0
+        self._issue_slots = 0       # µops issued at _issue_clock
+        self._retire_clock = 0
+        self._retire_slots = 0
+        self._scoreboard = [0] * NUM_REGS
+        self._ports = PortWindow()
+        self._rob = []              # ring of retire cycles
+        self._rob_head = 0
+        self._window = []           # ring of exec cycles (issue window)
+        self._window_head = 0
+        self._store_buffer = {}     # word addr -> data ready cycle
+        self._store_order = []      # FIFO of (word, done) for SQ capacity
+        self._load_releases = []    # FIFO of load done cycles (LQ capacity)
+        self._last_store_cycle = 0  # TSO: stores execute in order
+        self._last_mem_done = 0     # completion of latest memory op
+        self._fence_cycle = 0
+        self._line_bytes = 64
+        self._last_fetch_line = -1
+        self._mispredict_resume = 0
+        self._lsd_recent = []       # (bbl_id, uops) of recent blocks
+        self.lsd_streams = 0
+        self.cond_branches = 0
+        self.mispredicts = 0
+        self.forwarded_loads = 0
+        self.wrong_path_fetches = 0
+        #: When set to a list, every µop appends a
+        #: (dispatch, exec, done, retire) tuple — used by pipeline
+        #: invariant tests; None (default) costs nothing.
+        self.debug_trace = None
+
+    # ------------------------------------------------------------------
+
+    @property
+    def cycle(self):
+        return self._retire_clock
+
+    def apply_delay(self, delay):
+        if delay < 0:
+            raise ValueError("Weave delay must be >= 0, got %d" % delay)
+        self._fetch_clock += delay
+        self._decode_clock += delay
+        self._issue_clock += delay
+        self._retire_clock += delay
+
+    def skip_to(self, cycle):
+        for attr in ("_fetch_clock", "_decode_clock", "_issue_clock",
+                     "_retire_clock"):
+            if getattr(self, attr) < cycle:
+                setattr(self, attr, cycle)
+
+    # ------------------------------------------------------------------
+
+    def run_until(self, limit_cycle):
+        if self.stream is None:
+            return RunOutcome.BLOCKED
+        while self._retire_clock < limit_cycle:
+            try:
+                decoded, bbl_exec = next(self.stream)
+            except StopIteration:
+                return RunOutcome.DONE
+            syscall = self._simulate_bbl(decoded, bbl_exec)
+            if syscall is not None:
+                self.pending_syscall = syscall
+                return RunOutcome.SYSCALL
+        return RunOutcome.LIMIT
+
+    # ------------------------------------------------------------------
+
+    def _simulate_bbl(self, decoded, bbl_exec):
+        block = decoded.block
+        self.bbls += 1
+        self.instrs += block.num_instrs
+        self.uops += decoded.num_uops
+
+        # Loop stream detector: a tight loop (the same small block
+        # repeating) replays µops from the queue, skipping fetch and
+        # decode entirely.
+        lsd_hit = False
+        if self.config.loop_stream_detector:
+            recent = self._lsd_recent
+            # The loop body is everything since the previous occurrence
+            # of this block; it streams if it fits the µop queue.
+            for idx in range(len(recent) - 1, -1, -1):
+                if recent[idx][0] == block.bbl_id:
+                    loop_uops = (sum(u for _b, u in recent[idx + 1:])
+                                 + decoded.num_uops)
+                    if loop_uops <= self.config.lsd_max_uops:
+                        lsd_hit = True
+                        self.lsd_streams += 1
+                    break
+            recent.append((block.bbl_id, decoded.num_uops))
+            if len(recent) > 4:
+                del recent[0]
+
+        # (1) IFetch + BPred: adjust fetchClock.
+        fetch = self._fetch_clock
+        if self._mispredict_resume > fetch:
+            fetch = self._mispredict_resume
+            lsd_hit = False  # mispredicts flush the µop queue
+        self._mispredict_resume = 0
+        if not lsd_hit:
+            for line_addr in iter_fetch_lines(block.address,
+                                              block.num_bytes,
+                                              self._line_bytes):
+                if line_addr != self._last_fetch_line:
+                    self._last_fetch_line = line_addr
+                    result = self.mem.access(self.core_id, line_addr,
+                                             False, fetch, ifetch=True)
+                    self._account_access(result, ifetch=True)
+                    if result.missed_levels:
+                        fetch += result.latency
+                    self._record_trace(fetch, result)
+        self._fetch_clock = fetch
+
+        # (2.1) Decoder stalls: adjust decodeClock (skipped when the
+        # LSD streams the loop from the µop queue).
+        decode = max(self._decode_clock + 1, fetch + 1)
+        if not lsd_hit:
+            decode += decoded.decode_cycles - 1
+        self._decode_clock = decode
+
+        syscall = None
+        addrs = bbl_exec.addrs
+        sb = self._scoreboard
+        issue_width = self.config.issue_width
+        retire_width = self.config.retire_width
+        rob_size = self.config.rob_size
+        window_size = self.config.issue_window_size
+
+        if self._issue_clock < decode:
+            self._issue_clock = decode
+            self._issue_slots = 0
+
+        for uop in decoded.uops:
+            # (2.3) Issue width: adjust issueClock.
+            if self._issue_slots >= issue_width:
+                self._issue_clock += 1
+                self._issue_slots = 0
+            self._issue_slots += 1
+            dispatch = self._issue_clock
+            if dispatch < decode:
+                dispatch = decode
+
+            # ROB capacity: stall issue until the head-of-line µop
+            # retires when the ROB is full.
+            rob = self._rob
+            if len(rob) - self._rob_head >= rob_size:
+                head_retire = rob[self._rob_head]
+                self._rob_head += 1
+                if self._rob_head > 8192:
+                    del rob[:self._rob_head]
+                    self._rob_head = 0
+                if head_retire > dispatch:
+                    dispatch = head_retire
+                    self._issue_clock = head_retire
+                    self._issue_slots = 1
+
+            # Issue-window capacity: oldest unexecuted µop must leave.
+            window = self._window
+            if len(window) - self._window_head >= window_size:
+                head_exec = window[self._window_head]
+                self._window_head += 1
+                if self._window_head > 8192:
+                    del window[:self._window_head]
+                    self._window_head = 0
+                if head_exec > dispatch:
+                    dispatch = head_exec
+
+            # (2.2) Minimum execution cycle from the scoreboard.
+            exec_min = dispatch
+            src = uop.src1
+            if src >= 0 and sb[src] > exec_min:
+                exec_min = sb[src]
+            src = uop.src2
+            if src >= 0 and sb[src] > exec_min:
+                exec_min = sb[src]
+
+            utype = uop.type
+            done = None
+            if utype == UopType.LOAD:
+                exec_min, done, exec_cycle = self._exec_load(
+                    uop, addrs, exec_min)
+            elif utype == UopType.STORE_ADDR:
+                exec_min, done, exec_cycle = self._exec_store(
+                    uop, addrs, exec_min)
+            elif utype == UopType.FENCE:
+                # A full fence orders *all* prior memory operations.
+                fence_min = max(exec_min, self._last_store_cycle,
+                                self._last_mem_done)
+                exec_cycle = self._ports.schedule(fence_min, uop.ports)
+                done = exec_cycle + uop.lat
+                self._fence_cycle = done
+            else:
+                # (2.4) Schedule on a compatible free port.
+                exec_cycle = self._ports.schedule(exec_min, uop.ports)
+                done = exec_cycle + uop.lat
+                if utype == UopType.SYSCALL:
+                    syscall = bbl_exec.syscall or True
+                elif utype == UopType.BRANCH and decoded.conditional:
+                    self.cond_branches += 1
+                    correct = self.bpred.predict_and_update(
+                        block.address, bbl_exec.taken)
+                    if not correct:
+                        self.mispredicts += 1
+                        self._mispredict_resume = (
+                            exec_cycle + self.bpred.mispredict_penalty)
+                        if self.config.wrong_path_fetch:
+                            self._fetch_wrong_path(block, bbl_exec,
+                                                   exec_cycle)
+
+            # (2.6) Write back destinations to the scoreboard.
+            dst = uop.dst1
+            if dst >= 0:
+                sb[dst] = done
+            dst = uop.dst2
+            if dst >= 0:
+                sb[dst] = done
+            window.append(exec_cycle)
+
+            # (2.7) Retire: account ROB width, adjust retireClock.
+            retire = done + 1
+            if retire <= self._retire_clock:
+                retire = self._retire_clock
+                self._retire_slots += 1
+                if self._retire_slots >= retire_width:
+                    self._retire_clock += 1
+                    self._retire_slots = 0
+            else:
+                self._retire_clock = retire
+                self._retire_slots = 1
+            rob.append(retire)
+            if self.debug_trace is not None:
+                self.debug_trace.append((dispatch, exec_cycle, done,
+                                         retire))
+
+        return syscall
+
+    def _fetch_wrong_path(self, block, bbl_exec, branch_cycle):
+        """A misprediction fetched down the wrong path until the branch
+        resolved: touch the first line of the *not-followed* target,
+        polluting the I-cache (wrong-path instructions never execute,
+        matching the paper)."""
+        # The path actually followed is bbl_exec.next_address; the wrong
+        # path is the other side of the branch.
+        if bbl_exec.taken:
+            wrong = block.end_address       # fall-through not taken
+        else:
+            wrong = bbl_exec.next_address + block.num_bytes
+        line_addr = wrong & ~(self._line_bytes - 1)
+        self.wrong_path_fetches += 1
+        result = self.mem.access(self.core_id, line_addr, False,
+                                 branch_cycle, ifetch=True)
+        # Wrong-path fetch latency is hidden by the recovery penalty;
+        # only the cache-state side effects persist.
+        self._record_trace(branch_cycle, result)
+
+    # ------------------------------------------------------------------
+
+    def _exec_load(self, uop, addrs, exec_min):
+        self.loads += 1
+        addr = addrs[uop.mem_slot]
+        if self._fence_cycle > exec_min:
+            exec_min = self._fence_cycle
+        # Load-queue capacity.
+        releases = self._load_releases
+        if len(releases) >= self.config.load_queue_size:
+            head = releases.pop(0)
+            if head > exec_min:
+                exec_min = head
+        exec_cycle = self._ports.schedule(exec_min, uop.ports)
+        word = addr >> 3
+        ready = self._store_buffer.get(word)
+        if ready is not None:
+            # Store-to-load forwarding: bypass the memory system.
+            self.forwarded_loads += 1
+            done = max(exec_cycle, ready) + 1
+        else:
+            result = self.mem.access(self.core_id, addr, False, exec_cycle)
+            self._account_access(result)
+            self._record_trace(exec_cycle, result)
+            done = exec_cycle + result.latency
+        releases.append(done)
+        if done > self._last_mem_done:
+            self._last_mem_done = done
+        return exec_min, done, exec_cycle
+
+    def _exec_store(self, uop, addrs, exec_min):
+        self.stores += 1
+        addr = addrs[uop.mem_slot]
+        if self._fence_cycle > exec_min:
+            exec_min = self._fence_cycle
+        # TSO: stores execute in program order.
+        if self._last_store_cycle > exec_min:
+            exec_min = self._last_store_cycle
+        # Store-queue capacity.
+        order = self._store_order
+        if len(order) >= self.config.store_queue_size:
+            word_old, done_old = order.pop(0)
+            if self._store_buffer.get(word_old) == done_old:
+                del self._store_buffer[word_old]
+            if done_old > exec_min:
+                exec_min = done_old
+        exec_cycle = self._ports.schedule(exec_min, uop.ports)
+        self._last_store_cycle = exec_cycle
+        result = self.mem.access(self.core_id, addr, True, exec_cycle)
+        self._account_access(result)
+        self._record_trace(exec_cycle, result)
+        done = exec_cycle + max(1, uop.lat)
+        if done + result.latency > self._last_mem_done:
+            self._last_mem_done = done + result.latency
+        word = addr >> 3
+        self._store_buffer[word] = done + result.latency
+        order.append((word, done + result.latency))
+        return exec_min, done, exec_cycle
+
+    # ------------------------------------------------------------------
+
+    def fill_stats(self, node):
+        super().fill_stats(node)
+        node.set("cond_branches", self.cond_branches)
+        node.set("mispredicts", self.mispredicts)
+        node.set("forwarded_loads", self.forwarded_loads)
+        node.set("wrong_path_fetches", self.wrong_path_fetches)
+        node.set("lsd_streams", self.lsd_streams)
+
+    @property
+    def branch_mpki(self):
+        if self.instrs == 0:
+            return 0.0
+        return 1000.0 * self.mispredicts / self.instrs

@@ -1,0 +1,89 @@
+"""Simple core model: IPC = 1 for everything but memory accesses.
+
+The paper's fast model: "the timing model simply keeps a cycle count,
+instruction count, and drives the memory hierarchy.  Instruction fetches,
+loads, and stores are simulated at their appropriate cycles by calling
+into the cache models, and their delays are accounted in the core's cycle
+count."
+"""
+
+from __future__ import annotations
+
+from repro.cpu.base import Core, RunOutcome, iter_fetch_lines
+from repro.isa.uops import UopType
+
+
+class SimpleCore(Core):
+    """IPC1 core: one cycle per instruction plus memory latencies."""
+
+    def __init__(self, core_id, mem, config):
+        super().__init__(core_id, mem, config)
+        self._cycle = 0
+        self._line_bytes = 64
+        self._last_fetch_line = -1
+
+    @property
+    def cycle(self):
+        return self._cycle
+
+    def run_until(self, limit_cycle):
+        if self.stream is None:
+            return RunOutcome.BLOCKED
+        mem = self.mem
+        core_id = self.core_id
+        while self._cycle < limit_cycle:
+            try:
+                decoded, bbl_exec = next(self.stream)
+            except StopIteration:
+                return RunOutcome.DONE
+            block = decoded.block
+            self.bbls += 1
+            self.instrs += block.num_instrs
+            self.uops += decoded.num_uops
+            # Instruction fetch: one L1I access per new line touched.
+            for line_addr in iter_fetch_lines(block.address,
+                                              block.num_bytes,
+                                              self._line_bytes):
+                if line_addr != self._last_fetch_line:
+                    self._last_fetch_line = line_addr
+                    result = mem.access(core_id, line_addr, False,
+                                        self._cycle, ifetch=True)
+                    self._account_access(result, ifetch=True)
+                    if result.missed_levels:
+                        self._cycle += result.latency
+                    self._record_trace(self._cycle, result)
+            # One cycle per instruction; memory µops add their latency.
+            addrs = bbl_exec.addrs
+            syscall = None
+            for uop in decoded.uops:
+                utype = uop.type
+                if utype == UopType.LOAD or utype == UopType.STORE_ADDR:
+                    write = utype == UopType.STORE_ADDR
+                    if write:
+                        self.stores += 1
+                    else:
+                        self.loads += 1
+                    result = mem.access(core_id, addrs[uop.mem_slot],
+                                        write, self._cycle)
+                    self._account_access(result)
+                    self._record_trace(self._cycle, result)
+                    if result.missed_levels:
+                        # L1 hits are covered by the instruction's own
+                        # cycle; misses add their full latency.
+                        self._cycle += result.latency
+                elif utype == UopType.SYSCALL:
+                    syscall = bbl_exec.syscall
+            self._cycle += block.num_instrs
+            if syscall is not None:
+                self.pending_syscall = syscall
+                return RunOutcome.SYSCALL
+        return RunOutcome.LIMIT
+
+    def apply_delay(self, delay):
+        if delay < 0:
+            raise ValueError("Weave delay must be >= 0, got %d" % delay)
+        self._cycle += delay
+
+    def skip_to(self, cycle):
+        if cycle > self._cycle:
+            self._cycle = cycle

@@ -1,0 +1,76 @@
+"""Instrumentation layer: turns functional streams into timed streams.
+
+zsim instruments every basic block, load, and store so that executing the
+program drives the timing models.  Here the functional side is a Python
+iterator of :class:`~repro.isa.program.BBLExec` records; the instrumenter
+attaches decoded descriptors from the translation cache, dispatches magic
+ops, and supports fast-forwarding (running the functional stream at full
+speed with no timing models attached, as zsim does before the region of
+interest).
+"""
+
+from __future__ import annotations
+
+from repro.dbt.translation_cache import TranslationCache
+from repro.isa.opcodes import Opcode
+
+
+class MagicOp:
+    """Magic-op codes embedded in workloads (special NOP sequences)."""
+
+    ROI_BEGIN = 1
+    ROI_END = 2
+    HEARTBEAT = 3
+
+
+class InstrumentedStream:
+    """Wraps a functional BBLExec stream with decode-once instrumentation.
+
+    Iterating yields ``(decoded_bbl, bbl_exec)`` pairs.  Magic ops invoke
+    registered handlers inline, mirroring how zsim recognizes magic NOP
+    sequences at instrumentation time.
+    """
+
+    def __init__(self, stream, translation_cache=None, program_id=0,
+                 magic_handler=None):
+        self._stream = iter(stream)
+        # Note: an empty TranslationCache is falsy (len == 0), so an
+        # explicit None check is required to honor shared caches.
+        self.tcache = (translation_cache if translation_cache is not None
+                       else TranslationCache())
+        self.program_id = program_id
+        self.magic_handler = magic_handler
+        self.instrs_retired = 0
+        self.bbls_executed = 0
+
+    def __iter__(self):
+        return self
+
+    def __next__(self):
+        bbl_exec = next(self._stream)
+        block = bbl_exec.block
+        decoded = self.tcache.translate(block, self.program_id)
+        self.instrs_retired += block.num_instrs
+        self.bbls_executed += 1
+        if (self.magic_handler is not None
+                and block.instructions[0].opcode == Opcode.MAGIC):
+            self.magic_handler(bbl_exec)
+        return decoded, bbl_exec
+
+    def fast_forward(self, num_instrs):
+        """Consume the stream without timing until ``num_instrs`` retire.
+
+        Returns the number of instructions actually skipped (less than
+        requested if the stream ends early).  This is the analogue of
+        zsim's close-to-native-speed fast-forwarding: the functional side
+        runs, the timing side is never invoked.
+        """
+        skipped = 0
+        while skipped < num_instrs:
+            try:
+                bbl_exec = next(self._stream)
+            except StopIteration:
+                break
+            skipped += bbl_exec.block.num_instrs
+        self.instrs_retired += skipped
+        return skipped

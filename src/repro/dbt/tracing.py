@@ -1,0 +1,127 @@
+"""Execution trace capture and replay.
+
+zsim is execution-driven; Table 1 notes that several contemporaries
+(Sniper, HORNET) only support some workload classes *trace-driven*.
+This module provides the bridge in both directions: record a functional
+stream to a portable JSON-lines file, and replay it later as if it were
+live — useful for deterministic regression corpora and for feeding the
+simulator from traces captured elsewhere.
+
+Format: the first line is the static program (blocks of instruction
+tuples); each following line is one dynamic basic-block execution.
+Syscalls are serialized structurally for the known descriptor types;
+``Spawn`` (which carries a callable) cannot be traced.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.isa.program import BBLExec, Instruction, Program
+from repro.virt import syscalls as sc
+
+_SYSCALL_TYPES = {
+    "FutexWait": (sc.FutexWait, ("key",)),
+    "FutexWake": (sc.FutexWake, ("key", "count")),
+    "Barrier": (sc.Barrier, ("key", "parties")),
+    "Lock": (sc.Lock, ("key",)),
+    "Unlock": (sc.Unlock, ("key",)),
+    "Sleep": (sc.Sleep, ("cycles",)),
+    "ThreadExit": (sc.ThreadExit, ()),
+    "GetTime": (sc.GetTime, ()),
+    "Yield": (sc.Yield, ()),
+}
+
+
+def _encode_key(value):
+    # Syscall keys may be tuples; JSON turns them into lists, so tag.
+    if isinstance(value, tuple):
+        return {"__tuple__": [_encode_key(v) for v in value]}
+    return value
+
+
+def _decode_key(value):
+    if isinstance(value, dict) and "__tuple__" in value:
+        return tuple(_decode_key(v) for v in value["__tuple__"])
+    if isinstance(value, list):
+        return tuple(_decode_key(v) for v in value)
+    return value
+
+
+def _encode_syscall(syscall):
+    if syscall is None:
+        return None
+    name = type(syscall).__name__
+    if name not in _SYSCALL_TYPES:
+        raise ValueError("Syscall %r cannot be traced" % name)
+    _cls, fields = _SYSCALL_TYPES[name]
+    return [name] + [_encode_key(getattr(syscall, f)) for f in fields]
+
+
+def _decode_syscall(data):
+    if data is None:
+        return None
+    name, *values = data
+    cls, fields = _SYSCALL_TYPES[name]
+    kwargs = {f: _decode_key(v) for f, v in zip(fields, values)}
+    return cls(**kwargs)
+
+
+def record_trace(stream, path, program):
+    """Consume ``stream`` (BBLExec iterator) and write it to ``path``.
+
+    Returns the number of executions recorded.  All executed blocks must
+    belong to ``program``.
+    """
+    count = 0
+    with open(path, "w") as handle:
+        header = {
+            "name": program.name,
+            "code_base": program.code_base,
+            "blocks": [[(i.opcode, i.src1, i.src2, i.dst1)
+                        for i in block.instructions]
+                       for block in program.blocks],
+        }
+        handle.write(json.dumps(header) + "\n")
+        for bbl_exec in stream:
+            if bbl_exec.block.bbl_id >= program.num_blocks:
+                raise ValueError("Executed block %d is not in program %r"
+                                 % (bbl_exec.block.bbl_id, program.name))
+            record = [bbl_exec.block.bbl_id, list(bbl_exec.addrs),
+                      1 if bbl_exec.taken else 0,
+                      _encode_syscall(bbl_exec.syscall)]
+            handle.write(json.dumps(record) + "\n")
+            count += 1
+    return count
+
+
+class TraceReader:
+    """Replays a recorded trace as a BBLExec stream.
+
+    The static program is rebuilt from the header, so the replay is
+    fully self-contained (no access to the original workload needed).
+    """
+
+    def __init__(self, path):
+        self.path = path
+        with open(path) as handle:
+            header = json.loads(handle.readline())
+        self.program = Program(header["name"],
+                               code_base=header["code_base"])
+        for instrs in header["blocks"]:
+            self.program.add_block(
+                [Instruction(op, s1, s2, d1)
+                 for op, s1, s2, d1 in instrs])
+
+    def __iter__(self):
+        with open(self.path) as handle:
+            handle.readline()  # skip header
+            for line in handle:
+                bbl_id, addrs, taken, syscall = json.loads(line)
+                yield BBLExec(self.program.block(bbl_id), tuple(addrs),
+                              taken=bool(taken),
+                              syscall=_decode_syscall(syscall))
+
+    def __len__(self):
+        with open(self.path) as handle:
+            return sum(1 for _ in handle) - 1

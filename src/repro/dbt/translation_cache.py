@@ -1,0 +1,66 @@
+"""Translation cache: decode-once storage for basic-block descriptors.
+
+zsim leans on Pin's dynamic binary translation to pay decode costs once
+per *static* instruction rather than once per *dynamic* instruction.  Our
+substrate reproduces the same amortization: the first execution of a basic
+block decodes it (µop fission, fusion, port/latency assignment, frontend
+accounting) and caches the :class:`~repro.isa.decoder.DecodedBBL`; every
+later execution reuses the descriptor.
+
+Like zsim, we also support invalidation: when the "code cache" drops a
+trace (e.g., self-modifying code or cache pressure in Pin), the translated
+block must be freed and re-decoded on next use.
+"""
+
+from __future__ import annotations
+
+from repro.isa.decoder import decode_bbl
+
+
+class TranslationCache:
+    """Caches decoded basic blocks keyed by (program id, block id)."""
+
+    def __init__(self, capacity=None):
+        """``capacity`` optionally bounds the number of cached blocks;
+        when full, the least-recently-translated block is evicted (a
+        simple stand-in for Pin's code-cache eviction)."""
+        self._cache = {}
+        self._capacity = capacity
+        self.translations = 0
+        self.hits = 0
+        self.invalidations = 0
+
+    def translate(self, block, program_id=0):
+        """Return the decoded descriptor for ``block``, decoding on miss."""
+        key = (program_id, block.bbl_id)
+        decoded = self._cache.get(key)
+        if decoded is not None:
+            self.hits += 1
+            return decoded
+        decoded = decode_bbl(block)
+        if self._capacity is not None and len(self._cache) >= self._capacity:
+            # Evict the oldest translation (dict preserves insert order).
+            oldest = next(iter(self._cache))
+            del self._cache[oldest]
+            self.invalidations += 1
+        self._cache[key] = decoded
+        self.translations += 1
+        return decoded
+
+    def invalidate(self, block, program_id=0):
+        """Drop one translated block (Pin trace invalidation)."""
+        if self._cache.pop((program_id, block.bbl_id), None) is not None:
+            self.invalidations += 1
+
+    def invalidate_program(self, program_id):
+        """Drop every translation of one program (e.g., on exec())."""
+        stale = [key for key in self._cache if key[0] == program_id]
+        for key in stale:
+            del self._cache[key]
+        self.invalidations += len(stale)
+
+    def __len__(self):
+        return len(self._cache)
+
+    def __contains__(self, key):
+        return key in self._cache

@@ -1,0 +1,168 @@
+"""Performance harness: simulator speed studies (Table 4, Figs 7-9).
+
+Reports simulated MIPS (instructions simulated per wall-clock second) and
+slowdown versus "native" execution — here, the speed of running the
+functional stream alone with no timing models attached, the analogue of
+the workload running natively under Pin with instrumentation stripped.
+
+Absolute MIPS are Python-scale (3 orders of magnitude below the C++
+original, see DESIGN.md); the reproduced claims are the *relative*
+shapes: model-set ordering, memory-intensity effects, scaling curves.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+
+from repro.core.simulator import ZSim
+from repro.stats.aggregate import hmean
+
+#: The evaluation's four model sets (Figure 7, Table 4).
+MODEL_SETS = (
+    ("IPC1-NC", "simple", "none"),
+    ("IPC1-C", "simple", "weave"),
+    ("OOO-NC", "ooo", "none"),
+    ("OOO-C", "ooo", "weave"),
+)
+
+
+def with_core_model(config, core_model):
+    return dataclasses.replace(
+        config, core=dataclasses.replace(config.core, model=core_model))
+
+
+def native_mips(workload, target_instrs, num_threads=None):
+    """'Native' speed: consume the functional streams with no timing
+    models (fast-forward path)."""
+    threads = workload.make_threads(target_instrs=target_instrs,
+                                    num_threads=num_threads)
+    start = time.perf_counter()
+    total = 0
+    for thread in threads:
+        total += thread.stream.fast_forward(10 ** 12)
+    elapsed = time.perf_counter() - start
+    return total / elapsed / 1e6 if elapsed > 0 else 0.0
+
+
+def simulate_mips(config, workload, target_instrs, core_model,
+                  contention_model, num_threads=None):
+    """Run one (workload, model set) combination; returns the result."""
+    cfg = with_core_model(config, core_model)
+    threads = workload.make_threads(target_instrs=target_instrs,
+                                    num_threads=num_threads)
+    sim = ZSim(cfg, threads=threads, contention_model=contention_model)
+    return sim.run()
+
+
+def model_grid(config, workload, target_instrs, num_threads=None,
+               model_sets=MODEL_SETS):
+    """Table 4 / Figure 7 cell: MIPS and slowdown for each model set."""
+    native = native_mips(workload, target_instrs, num_threads)
+    rows = {}
+    for label, core_model, contention in model_sets:
+        res = simulate_mips(config, workload, target_instrs, core_model,
+                            contention, num_threads)
+        rows[label] = {
+            "mips": res.mips,
+            "slowdown": native / res.mips if res.mips > 0 else float("inf"),
+            "cycles": res.cycles,
+            "instrs": res.instrs,
+        }
+    rows["native_mips"] = native
+    return rows
+
+
+def table4(config, workloads, target_instrs, num_threads=None,
+           model_sets=MODEL_SETS):
+    """Table 4: per-workload MIPS/slowdown for every model set, plus the
+    harmonic-mean summary column."""
+    table = {}
+    for workload in workloads:
+        table[workload.name] = model_grid(config, workload, target_instrs,
+                                          num_threads, model_sets)
+    summary = {}
+    for label, _cm, _ct in model_sets:
+        mips_values = [table[w.name][label]["mips"] for w in workloads]
+        natives = [table[w.name]["native_mips"] for w in workloads]
+        summary[label] = {
+            "hmean_mips": hmean(mips_values),
+            "hmean_slowdown": hmean(natives) / hmean(mips_values),
+        }
+    return table, summary
+
+
+def host_scalability(config, workload, target_instrs, num_threads=None,
+                     host_threads=(1, 2, 4, 8, 16, 32),
+                     core_model="simple", contention_model="weave"):
+    """Figure 8: modeled speedup vs host threads (see HostModel)."""
+    cfg = with_core_model(config, core_model)
+    threads = workload.make_threads(target_instrs=target_instrs,
+                                    num_threads=num_threads)
+    sim = ZSim(cfg, threads=threads, contention_model=contention_model,
+               host_threads=host_threads)
+    sim.run()
+    return sim.host_model.speedup_curve()
+
+
+def target_scalability(config_factory, sizes, workloads_factory,
+                       target_instrs, model_sets=MODEL_SETS):
+    """Figure 9: hmean MIPS vs simulated core count.
+
+    ``config_factory(size)`` builds the chip; ``workloads_factory(size)``
+    returns the workload list for that size.
+    """
+    curves = {label: [] for label, _c, _m in model_sets}
+    for size in sizes:
+        config = config_factory(size)
+        workloads = workloads_factory(size)
+        for label, core_model, contention in model_sets:
+            mips_values = []
+            for workload in workloads:
+                res = simulate_mips(config, workload, target_instrs,
+                                    core_model, contention,
+                                    num_threads=config.num_cores)
+                mips_values.append(max(res.mips, 1e-9))
+            curves[label].append((size, hmean(mips_values)))
+    return curves
+
+
+def interval_sensitivity(config, workloads, target_instrs,
+                         intervals=(1_000, 10_000, 100_000),
+                         core_model="simple", num_threads=None):
+    """Section 4.2: interval length vs accuracy and speed.
+
+    Returns {interval: {"avg_abs_error", "max_abs_error", "speedup"}}
+    with errors in simulated performance relative to the shortest
+    interval, and speedup in wall-clock time relative to it too.
+    """
+    base_interval = intervals[0]
+    runs = {}
+    for interval in intervals:
+        cfg = dataclasses.replace(
+            with_core_model(config, core_model),
+            boundweave=dataclasses.replace(config.boundweave,
+                                           interval_cycles=interval))
+        per_workload = {}
+        for workload in workloads:
+            res = simulate_mips(cfg, workload, target_instrs, core_model,
+                                "weave", num_threads=num_threads)
+            per_workload[workload.name] = res
+        runs[interval] = per_workload
+    out = {}
+    base = runs[base_interval]
+    for interval in intervals:
+        errors = []
+        wall_base = 0.0
+        wall_this = 0.0
+        for name, res in runs[interval].items():
+            ref = base[name]
+            errors.append(abs(res.cycles - ref.cycles) / ref.cycles)
+            wall_base += ref.wall_seconds
+            wall_this += res.wall_seconds
+        out[interval] = {
+            "avg_abs_error": sum(errors) / len(errors),
+            "max_abs_error": max(errors),
+            "speedup": wall_base / wall_this if wall_this > 0 else 1.0,
+        }
+    return out

@@ -1,0 +1,94 @@
+"""Region-of-interest control via magic ops (GEMS-style, Section 3.3).
+
+"Simulated code can communicate with zsim via magic ops, special NOP
+sequences never emitted by compilers that are identified at
+instrumentation time."  The canonical use is marking the region of
+interest: statistics outside ROI_BEGIN/ROI_END are discarded.
+
+:class:`RoiTracker` watches the magic ops of every thread and snapshots
+per-core counters at the boundaries; :func:`roi_stream` wraps a
+functional stream with the marker blocks.
+"""
+
+from __future__ import annotations
+
+from repro.dbt.instrumentation import MagicOp
+from repro.isa.opcodes import Opcode
+from repro.isa.program import BBLExec, Instruction, Program
+
+
+_MAGIC_PROGRAM = Program("roi-magic", code_base=0x3F_0000)
+_MAGIC_BLOCK = _MAGIC_PROGRAM.add_block([Instruction(Opcode.MAGIC)])
+
+
+def roi_begin_exec():
+    return BBLExec(_MAGIC_BLOCK, (), syscall=MagicOp.ROI_BEGIN)
+
+
+def roi_end_exec():
+    return BBLExec(_MAGIC_BLOCK, (), syscall=MagicOp.ROI_END)
+
+
+def roi_stream(stream, warmup_stream=None):
+    """Wrap ``stream`` in ROI markers, optionally after a warmup."""
+    if warmup_stream is not None:
+        yield from warmup_stream
+    yield roi_begin_exec()
+    yield from stream
+    yield roi_end_exec()
+
+
+class RoiTracker:
+    """Snapshots per-core work at ROI boundaries.
+
+    Attach to a simulator with :meth:`attach`; it hooks every thread's
+    instrumented stream's magic handler.  ROI is chip-wide: the first
+    ROI_BEGIN opens it, the last ROI_END closes it (like zsim's
+    process-wide ffwd toggling).
+    """
+
+    def __init__(self, sim):
+        self.sim = sim
+        self.begin = None      # (cycle, instrs) at ROI begin
+        self.end = None
+        self._open = 0
+
+    def attach(self):
+        for thread in self.sim.scheduler.threads:
+            thread.stream.magic_handler = self._on_magic
+        return self
+
+    def _snapshot(self):
+        cores = self.sim.cores
+        return (max(c.cycle for c in cores),
+                sum(c.instrs for c in cores))
+
+    def _on_magic(self, bbl_exec):
+        op = bbl_exec.syscall
+        if op == MagicOp.ROI_BEGIN:
+            if self._open == 0:
+                self.begin = self._snapshot()
+            self._open += 1
+        elif op == MagicOp.ROI_END:
+            self._open -= 1
+            if self._open == 0:
+                self.end = self._snapshot()
+
+    @property
+    def roi_cycles(self):
+        if self.begin is None:
+            return 0
+        end = self.end or self._snapshot()
+        return max(0, end[0] - self.begin[0])
+
+    @property
+    def roi_instrs(self):
+        if self.begin is None:
+            return 0
+        end = self.end or self._snapshot()
+        return max(0, end[1] - self.begin[1])
+
+    @property
+    def roi_ipc(self):
+        cycles = self.roi_cycles
+        return self.roi_instrs / cycles if cycles else 0.0

@@ -1,0 +1,169 @@
+"""Validation harness: zsim vs the reference machine (Figures 5 and 6).
+
+Reproduces the paper's accuracy methodology: run each workload on the
+detailed zsim models and on the golden reference machine (same models +
+TLBs, finest interval), then compare IPC / perf and per-level MPKIs.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.reference import reference_simulator
+from repro.core.simulator import ZSim
+from repro.workloads.multithreaded import default_threads, mt_workload
+from repro.workloads.spec_cpu import SPEC_CPU2006, spec_workload
+
+CACHE_LEVELS = ("l1i", "l1d", "l2", "l3")
+
+
+def run_zsim(config, workload, target_instrs, contention_model="weave",
+             num_threads=None, seed_offset=0):
+    """One zsim run of a workload; returns the SimulationResult."""
+    threads = workload.make_threads(target_instrs=target_instrs,
+                                    num_threads=num_threads,
+                                    seed_offset=seed_offset)
+    sim = ZSim(config, threads=threads, contention_model=contention_model)
+    return sim.run()
+
+
+def run_real(config, workload, target_instrs, num_threads=None,
+             seed_offset=0):
+    """One reference-machine ("real") run; returns (result, tlb_mem)."""
+    threads = workload.make_threads(target_instrs=target_instrs,
+                                    num_threads=num_threads,
+                                    seed_offset=seed_offset)
+    sim = reference_simulator(config, threads)
+    return sim.run(), sim.tlb_memory
+
+
+def validate_workload(config, workload, target_instrs=100_000,
+                      num_threads=None):
+    """Compare zsim vs real on one workload.
+
+    Returns a dict with ipc/perf for both, the relative performance
+    error, absolute MPKI errors per cache level, branch MPKI error, and
+    the reference machine's TLB MPKI (the paper's error explainer).
+    """
+    zres = run_zsim(config, workload, target_instrs,
+                    num_threads=num_threads)
+    rres, tlb = run_real(config, workload, target_instrs,
+                         num_threads=num_threads)
+    row = {
+        "name": workload.name,
+        "ipc_zsim": zres.ipc,
+        "ipc_real": rres.ipc,
+        "perf_error": (zres.ipc - rres.ipc) / rres.ipc,
+        "cycles_zsim": zres.cycles,
+        "cycles_real": rres.cycles,
+        "branch_mpki_real": rres.branch_mpki(),
+        "branch_mpki_err": zres.branch_mpki() - rres.branch_mpki(),
+        "tlb_mpki": 1000.0 * sum(t.misses for t in tlb.dtlbs)
+        / max(1, rres.instrs),
+    }
+    for level in CACHE_LEVELS:
+        row["%s_mpki_real" % level] = rres.core_mpki(level)
+        row["%s_mpki_err" % level] = (zres.core_mpki(level)
+                                      - rres.core_mpki(level))
+    return row
+
+
+def spec_validation(config, names=SPEC_CPU2006, scale=1.0 / 32,
+                    target_instrs=60_000):
+    """Figure 5: per-SPEC-workload validation rows, sorted by |error|."""
+    rows = [validate_workload(config, spec_workload(name, scale),
+                              target_instrs)
+            for name in names]
+    rows.sort(key=lambda r: abs(r["perf_error"]))
+    return rows
+
+
+def mt_validation(config, names, scale=1.0 / 32, target_instrs=120_000):
+    """Figure 6 (left): multithreaded perf error rows.
+
+    Performance is measured as 1/time (not IPC), per the paper.
+    """
+    rows = []
+    for name in names:
+        workload = mt_workload(name, scale)
+        n = default_threads(name)
+        zres = run_zsim(config, workload, target_instrs, num_threads=n)
+        rres, _tlb = run_real(config, workload, target_instrs,
+                              num_threads=n)
+        rows.append({
+            "name": "%s-%dt" % (name, n),
+            "perf_zsim": 1.0 / zres.cycles,
+            "perf_real": 1.0 / rres.cycles,
+            "perf_error": (rres.cycles - zres.cycles) / zres.cycles,
+            "l1d_mpki_err": (zres.core_mpki("l1d")
+                             - rres.core_mpki("l1d")),
+            "l3_mpki_err": zres.core_mpki("l3") - rres.core_mpki("l3"),
+        })
+    rows.sort(key=lambda r: r["perf_error"])
+    return rows
+
+
+def speedup_curve(config_factory, name, thread_counts, scale=1.0 / 32,
+                  target_instrs=120_000, simulator="zsim",
+                  warmup_instrs=15_000):
+    """Figure 6 (middle): parallel speedup of one workload vs threads.
+
+    ``config_factory(num_cores)`` builds the system; speedup is relative
+    to the single-thread run, with total work held constant.  Following
+    the paper's methodology ("we simulate parallel regions only"), each
+    thread first executes ``warmup_instrs`` to warm its caches/TLBs; the
+    measured region starts afterwards.
+    """
+    base_cycles = None
+    points = []
+    for n in thread_counts:
+        workload = mt_workload(name, scale, num_threads=n)
+        config = config_factory(max(n, 1))
+        per_thread = warmup_instrs + max(1_000, target_instrs // n)
+        threads = workload.make_threads(
+            target_instrs=per_thread * n, num_threads=n)
+        if simulator == "zsim":
+            sim = ZSim(config, threads=threads)
+        else:
+            sim = reference_simulator(config, threads)
+        # Warm up, then measure the region of interest.
+        sim.run(max_instrs=warmup_instrs * n)
+        start_cycle = max(core.cycle for core in sim.cores)
+        res = sim.run()
+        cycles = max(1, res.cycles - start_cycle)
+        if base_cycles is None:
+            base_cycles = cycles
+        points.append((n, base_cycles / cycles))
+    return points
+
+
+def stream_scalability(config_factory, thread_counts, scale=1.0 / 32,
+                       target_instrs=120_000,
+                       models=("none", "md1", "weave", "dramsim")):
+    """Figure 6 (right): STREAM scalability under contention models,
+    plus the reference machine.  Returns {model: [(threads, speedup)]}.
+    """
+    curves = {}
+    for model in models:
+        base = None
+        points = []
+        for n in thread_counts:
+            workload = mt_workload("stream", scale, num_threads=n)
+            threads = workload.make_threads(target_instrs=target_instrs,
+                                            num_threads=n)
+            sim = ZSim(config_factory(max(n, 1)), threads=threads,
+                       contention_model=model)
+            res = sim.run()
+            if base is None:
+                base = res.cycles
+            points.append((n, base / res.cycles))
+        curves[model] = points
+    base = None
+    points = []
+    for n in thread_counts:
+        workload = mt_workload("stream", scale, num_threads=n)
+        res, _ = run_real(config_factory(max(n, 1)), workload,
+                          target_instrs, num_threads=n)
+        if base is None:
+            base = res.cycles
+        points.append((n, base / res.cycles))
+    curves["real"] = points
+    return curves

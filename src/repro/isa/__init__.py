@@ -1,0 +1,30 @@
+"""Mini-ISA substrate: the x86 stand-in the simulator executes.
+
+Public surface:
+
+* :mod:`repro.isa.registers` — register ids and helpers.
+* :class:`~repro.isa.program.Instruction`,
+  :class:`~repro.isa.program.BasicBlock`,
+  :class:`~repro.isa.program.Program`,
+  :class:`~repro.isa.program.BBLExec` — static programs and their dynamic
+  execution records.
+* :class:`~repro.isa.uops.Uop` — decoded µops.
+* :func:`~repro.isa.decoder.decode_bbl` — instruction→µop decoding.
+"""
+
+from repro.isa.decoder import DecodedBBL, decode_bbl
+from repro.isa.opcodes import Opcode
+from repro.isa.program import BasicBlock, BBLExec, Instruction, Program
+from repro.isa.uops import Uop, UopType
+
+__all__ = [
+    "BasicBlock",
+    "BBLExec",
+    "DecodedBBL",
+    "Instruction",
+    "Opcode",
+    "Program",
+    "Uop",
+    "UopType",
+    "decode_bbl",
+]

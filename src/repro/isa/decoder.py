@@ -1,0 +1,138 @@
+"""Instruction → µop decoding, performed once per static basic block.
+
+This is the heart of zsim's first technique: all decode work (µop fission,
+macro-op fusion, port/latency assignment, frontend stall accounting) runs
+at *instrumentation time* and is cached, so the per-execution timing cost
+is minimal.  The products are :class:`DecodedBBL` descriptors, the exact
+analogue of the "Decoded BBL uops" table in Figure 1 of the paper.
+
+The frontend model follows Westmere:
+
+* instruction-length predecoder limited to 16 bytes/cycle, and
+* 4-1-1-1 decoders — up to 4 instructions/cycle, but only the first
+  decoder slot may emit more than one µop.
+"""
+
+from __future__ import annotations
+
+from repro.isa.opcodes import Opcode, decode_instruction
+from repro.isa.registers import RFLAGS, RIP
+from repro.isa.uops import PORTS_BRANCH, Uop, UopType
+
+PREDECODE_BYTES_PER_CYCLE = 16
+DECODE_WIDTH = 4
+
+
+class DecodedBBL:
+    """Decoded descriptor for one static basic block.
+
+    Attributes:
+        block: the static :class:`~repro.isa.program.BasicBlock`.
+        uops: tuple of :class:`~repro.isa.uops.Uop` in program order.
+        decode_cycles: frontend cycles needed to predecode + decode the
+            block (the max of the length-predecoder and decoder limits).
+        branch_uop_index: index of the terminating branch µop, or -1.
+        conditional: whether the terminating branch is conditional.
+        fused_pairs: number of macro-fused cmp+branch pairs.
+    """
+
+    __slots__ = ("block", "uops", "decode_cycles", "branch_uop_index",
+                 "conditional", "fused_pairs", "num_loads", "num_stores")
+
+    def __init__(self, block, uops, decode_cycles, branch_uop_index,
+                 conditional, fused_pairs):
+        self.block = block
+        self.uops = tuple(uops)
+        self.decode_cycles = decode_cycles
+        self.branch_uop_index = branch_uop_index
+        self.conditional = conditional
+        self.fused_pairs = fused_pairs
+        self.num_loads = sum(1 for u in self.uops
+                             if u.type == UopType.LOAD)
+        self.num_stores = sum(1 for u in self.uops
+                              if u.type == UopType.STORE_ADDR)
+
+    @property
+    def num_uops(self):
+        return len(self.uops)
+
+    def __repr__(self):
+        return ("DecodedBBL(block=%d, %d uops, %d decode cycles)"
+                % (self.block.bbl_id, len(self.uops), self.decode_cycles))
+
+
+def _fuse_macro_ops(instructions):
+    """Apply macro-op fusion: a CMP immediately followed by a conditional
+    branch is decoded as a single µop, as on Westmere.
+
+    Returns a list of (instruction, uop_count_hint, fused) entries where
+    fused entries stand for the pair.
+    """
+    fused = []
+    i = 0
+    n = len(instructions)
+    while i < n:
+        instr = instructions[i]
+        if (instr.opcode == Opcode.CMP and i + 1 < n
+                and instructions[i + 1].opcode == Opcode.COND_BRANCH):
+            fused.append((instr, instructions[i + 1]))
+            i += 2
+        else:
+            fused.append((instr, None))
+            i += 1
+    return fused
+
+
+def decode_bbl(block):
+    """Decode a static basic block into a :class:`DecodedBBL`."""
+    uops = []
+    mem_slot = 0
+    fused_pairs = 0
+    decode_groups = _DecodeGroupTracker()
+
+    for instr, fusee in _fuse_macro_ops(block.instructions):
+        if fusee is not None:
+            # Macro-fused compare+branch: one µop that reads the compare
+            # sources and writes flags + rip.
+            uop = Uop(UopType.BRANCH, instr.src1, instr.src2, RIP, RFLAGS,
+                      lat=1, ports=PORTS_BRANCH)
+            uops.append(uop)
+            fused_pairs += 1
+            decode_groups.add(1)
+            continue
+        instr_uops, slots = decode_instruction(instr, mem_slot)
+        mem_slot += slots
+        uops.extend(instr_uops)
+        decode_groups.add(len(instr_uops))
+
+    branch_uop_index = -1
+    conditional = False
+    if uops and uops[-1].type == UopType.BRANCH:
+        branch_uop_index = len(uops) - 1
+        last_instr = block.instructions[-1]
+        conditional = (last_instr.opcode == Opcode.COND_BRANCH)
+
+    predecode_cycles = -(-block.num_bytes // PREDECODE_BYTES_PER_CYCLE)
+    decode_cycles = max(1, predecode_cycles, decode_groups.cycles)
+    return DecodedBBL(block, uops, decode_cycles, branch_uop_index,
+                      conditional, fused_pairs)
+
+
+class _DecodeGroupTracker:
+    """Packs decoded instructions into 4-1-1-1 decoder groups.
+
+    Each cycle decodes at most :data:`DECODE_WIDTH` instructions; an
+    instruction that emits more than one µop must occupy the first slot of
+    a group, forcing a new group when it appears mid-group.
+    """
+
+    def __init__(self):
+        self.cycles = 0
+        self._slot = DECODE_WIDTH  # force a new group on first add
+
+    def add(self, uop_count):
+        complex_instr = uop_count > 1
+        if self._slot >= DECODE_WIDTH or (complex_instr and self._slot != 0):
+            self.cycles += 1
+            self._slot = 0
+        self._slot += 1

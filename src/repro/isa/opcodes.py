@@ -1,0 +1,186 @@
+"""Macro-instruction classes of the mini-ISA and their µop decompositions.
+
+The mini-ISA plays the role x86 plays for zsim: a CISC-flavoured
+instruction set whose instructions decode into one or more µops.  The
+interesting x86 behaviours the paper's core model depends on are kept:
+
+* **µop fission** — memory-operand ALU instructions split into a load µop
+  plus an exec µop; stores split into store-address and store-data µops.
+* **macro-op fusion** — compare-and-branch pairs fuse into one µop
+  (performed by the decoder, see :mod:`repro.isa.decoder`).
+* **variable instruction length** — drives the 16-byte/cycle instruction
+  length predecoder model.
+* **decoder asymmetry** — only the first of the 4 decoders handles
+  multi-µop instructions (the 4-1-1-1 rule).
+"""
+
+from __future__ import annotations
+
+from repro.isa.registers import NO_REG, RFLAGS, RIP
+from repro.isa.uops import (
+    PORTS_AGU,
+    PORTS_ALU,
+    PORTS_BRANCH,
+    PORTS_DIV,
+    PORTS_FP_ADD,
+    PORTS_FP_MUL,
+    PORTS_LOAD,
+    PORTS_STORE_ADDR,
+    PORTS_STORE_DATA,
+    Uop,
+    UopType,
+)
+
+
+class Opcode:
+    """Enumeration of macro-instruction classes."""
+
+    ALU = 0          # reg-reg integer op                     (1 µop)
+    LEA = 1          # address computation                    (1 µop)
+    MUL = 2          # integer multiply                       (1 µop)
+    DIV = 3          # integer divide                         (1 µop)
+    FPADD = 4        # floating-point add/sub                 (1 µop)
+    FPMUL = 5        # floating-point multiply                (1 µop)
+    FPDIV = 6        # floating-point divide                  (1 µop)
+    LOAD = 7         # load into register                     (1 µop)
+    STORE = 8        # store register                         (2 µops)
+    LOAD_ALU = 9     # ALU with memory source operand         (2 µops, fission)
+    ALU_STORE = 10   # read-modify-write to memory            (4 µops)
+    CMP = 11         # compare, writes flags                  (1 µop)
+    COND_BRANCH = 12 # conditional branch on flags            (1 µop)
+    JMP = 13         # unconditional direct jump              (1 µop)
+    CALL = 14        # direct call                            (2 µops)
+    RET = 15         # return                                 (2 µops)
+    NOP = 16         # no-op                                  (1 µop)
+    FENCE = 17       # full memory fence                      (1 µop)
+    SYSCALL = 18     # system call                            (1 µop)
+    MAGIC = 19       # magic NOP sequence: simulator control  (1 µop)
+    X87 = 20         # legacy/rare opcode: approximate decode (1 µop)
+
+    NAMES = {}
+
+
+Opcode.NAMES = {
+    value: name.lower()
+    for name, value in vars(Opcode).items()
+    if isinstance(value, int)
+}
+
+#: Synthetic instruction lengths in bytes, used by the length predecoder.
+INSTR_LENGTH = {
+    Opcode.ALU: 3,
+    Opcode.LEA: 4,
+    Opcode.MUL: 4,
+    Opcode.DIV: 3,
+    Opcode.FPADD: 4,
+    Opcode.FPMUL: 4,
+    Opcode.FPDIV: 4,
+    Opcode.LOAD: 4,
+    Opcode.STORE: 4,
+    Opcode.LOAD_ALU: 5,
+    Opcode.ALU_STORE: 6,
+    Opcode.CMP: 3,
+    Opcode.COND_BRANCH: 2,
+    Opcode.JMP: 2,
+    Opcode.CALL: 5,
+    Opcode.RET: 1,
+    Opcode.NOP: 1,
+    Opcode.FENCE: 3,
+    Opcode.SYSCALL: 2,
+    Opcode.MAGIC: 8,
+    Opcode.X87: 7,
+}
+
+INT_MUL_LATENCY = 3
+INT_DIV_LATENCY = 21
+FP_ADD_LATENCY = 3
+FP_MUL_LATENCY = 5
+FP_DIV_LATENCY = 22
+
+
+def decode_instruction(instr, mem_slot):
+    """Decode one macro instruction into its µop sequence.
+
+    ``mem_slot`` is the index of the next dynamic memory-address slot of
+    the enclosing basic block; loads and stores consume slots in program
+    order.  Returns ``(uops, slots_consumed)``.
+    """
+    op = instr.opcode
+    s1, s2 = instr.src1, instr.src2
+    d1 = instr.dst1
+
+    if op == Opcode.ALU:
+        return [Uop(UopType.EXEC, s1, s2, d1, RFLAGS, 1, PORTS_ALU)], 0
+    if op == Opcode.LEA:
+        return [Uop(UopType.EXEC, s1, s2, d1, lat=1, ports=PORTS_AGU)], 0
+    if op == Opcode.MUL:
+        return [Uop(UopType.EXEC, s1, s2, d1, RFLAGS, INT_MUL_LATENCY,
+                    PORTS_FP_MUL)], 0
+    if op == Opcode.DIV:
+        return [Uop(UopType.EXEC, s1, s2, d1, RFLAGS, INT_DIV_LATENCY,
+                    PORTS_DIV)], 0
+    if op == Opcode.FPADD:
+        return [Uop(UopType.EXEC, s1, s2, d1, lat=FP_ADD_LATENCY,
+                    ports=PORTS_FP_ADD)], 0
+    if op == Opcode.FPMUL:
+        return [Uop(UopType.EXEC, s1, s2, d1, lat=FP_MUL_LATENCY,
+                    ports=PORTS_FP_MUL)], 0
+    if op == Opcode.FPDIV:
+        return [Uop(UopType.EXEC, s1, s2, d1, lat=FP_DIV_LATENCY,
+                    ports=PORTS_DIV)], 0
+    if op == Opcode.LOAD:
+        return [Uop(UopType.LOAD, s1, NO_REG, d1, lat=0, ports=PORTS_LOAD,
+                    mem_slot=mem_slot)], 1
+    if op == Opcode.STORE:
+        return [Uop(UopType.STORE_ADDR, s1, NO_REG, lat=1,
+                    ports=PORTS_STORE_ADDR, mem_slot=mem_slot),
+                Uop(UopType.STORE_DATA, s2, NO_REG, lat=0,
+                    ports=PORTS_STORE_DATA, mem_slot=mem_slot)], 1
+    if op == Opcode.LOAD_ALU:
+        # µop fission: load feeds a dependent exec µop through a temporary.
+        # We model the dependency by making the exec µop read the load's
+        # destination register.
+        return [Uop(UopType.LOAD, s1, NO_REG, d1, lat=0, ports=PORTS_LOAD,
+                    mem_slot=mem_slot),
+                Uop(UopType.EXEC, d1, s2, d1, RFLAGS, 1, PORTS_ALU)], 1
+    if op == Opcode.ALU_STORE:
+        return [Uop(UopType.LOAD, s1, NO_REG, d1, lat=0, ports=PORTS_LOAD,
+                    mem_slot=mem_slot),
+                Uop(UopType.EXEC, d1, s2, d1, RFLAGS, 1, PORTS_ALU),
+                Uop(UopType.STORE_ADDR, s1, NO_REG, lat=1,
+                    ports=PORTS_STORE_ADDR, mem_slot=mem_slot + 1),
+                Uop(UopType.STORE_DATA, d1, NO_REG, lat=0,
+                    ports=PORTS_STORE_DATA, mem_slot=mem_slot + 1)], 2
+    if op == Opcode.CMP:
+        return [Uop(UopType.EXEC, s1, s2, RFLAGS, lat=1, ports=PORTS_ALU)], 0
+    if op == Opcode.COND_BRANCH:
+        return [Uop(UopType.BRANCH, RFLAGS, NO_REG, RIP, lat=1,
+                    ports=PORTS_BRANCH)], 0
+    if op == Opcode.JMP:
+        return [Uop(UopType.BRANCH, NO_REG, NO_REG, RIP, lat=1,
+                    ports=PORTS_BRANCH)], 0
+    if op == Opcode.CALL:
+        # Push return address + jump.
+        return [Uop(UopType.STORE_ADDR, s1, NO_REG, lat=1,
+                    ports=PORTS_STORE_ADDR, mem_slot=mem_slot),
+                Uop(UopType.BRANCH, NO_REG, NO_REG, RIP, lat=1,
+                    ports=PORTS_BRANCH)], 1
+    if op == Opcode.RET:
+        return [Uop(UopType.LOAD, s1, NO_REG, RIP, lat=0, ports=PORTS_LOAD,
+                    mem_slot=mem_slot),
+                Uop(UopType.BRANCH, RIP, NO_REG, RIP, lat=1,
+                    ports=PORTS_BRANCH)], 1
+    if op == Opcode.NOP:
+        return [Uop(UopType.EXEC, NO_REG, NO_REG, lat=1, ports=PORTS_ALU)], 0
+    if op == Opcode.FENCE:
+        return [Uop(UopType.FENCE, NO_REG, NO_REG, lat=1, ports=PORTS_ALU)], 0
+    if op == Opcode.SYSCALL:
+        return [Uop(UopType.SYSCALL, NO_REG, NO_REG, lat=1,
+                    ports=PORTS_ALU)], 0
+    if op == Opcode.MAGIC:
+        return [Uop(UopType.MAGIC, NO_REG, NO_REG, lat=1, ports=PORTS_ALU)], 0
+    if op == Opcode.X87:
+        # Rare opcodes get a generic, approximate dataflow decoding, like
+        # zsim's handling of x87 (0.01% of dynamic instructions).
+        return [Uop(UopType.EXEC, s1, s2, d1, lat=4, ports=PORTS_FP_ADD)], 0
+    raise ValueError("Unknown opcode: %r" % (op,))

@@ -1,0 +1,55 @@
+"""Architectural register file definition for the mini-ISA.
+
+The mini-ISA is a compact, x86-flavoured register machine: 16 general
+purpose registers, 8 floating-point/SIMD registers, a flags register and
+an instruction pointer.  Registers are identified by small integers so the
+scoreboard in the OOO core model can be a flat list indexed by register id.
+"""
+
+from __future__ import annotations
+
+NUM_GP_REGS = 16
+NUM_FP_REGS = 8
+
+# Register id layout: [0, 16) GP, [16, 24) FP, then special registers.
+R0 = 0
+RSP = 14          # conventional stack pointer
+RBP = 15          # conventional frame pointer
+FP0 = NUM_GP_REGS
+RFLAGS = NUM_GP_REGS + NUM_FP_REGS
+RIP = RFLAGS + 1
+
+#: Total number of architectural registers tracked by the scoreboard.
+NUM_REGS = RIP + 1
+
+#: Sentinel meaning "no register operand".
+NO_REG = -1
+
+
+def gp(index):
+    """Return the register id of general-purpose register ``index``."""
+    if not 0 <= index < NUM_GP_REGS:
+        raise ValueError("GP register index out of range: %r" % (index,))
+    return index
+
+
+def fp(index):
+    """Return the register id of floating-point register ``index``."""
+    if not 0 <= index < NUM_FP_REGS:
+        raise ValueError("FP register index out of range: %r" % (index,))
+    return FP0 + index
+
+
+def reg_name(reg):
+    """Human-readable name for a register id (for debugging and tests)."""
+    if reg == NO_REG:
+        return "-"
+    if 0 <= reg < NUM_GP_REGS:
+        return "r%d" % reg
+    if NUM_GP_REGS <= reg < NUM_GP_REGS + NUM_FP_REGS:
+        return "f%d" % (reg - NUM_GP_REGS)
+    if reg == RFLAGS:
+        return "rflags"
+    if reg == RIP:
+        return "rip"
+    raise ValueError("Unknown register id: %r" % (reg,))

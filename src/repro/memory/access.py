@@ -1,0 +1,107 @@
+"""Access context threaded through the memory hierarchy.
+
+Every core memory access (ifetch, load, store) carries one
+:class:`AccessContext` down the hierarchy.  It accumulates the zero-load
+latency (the *bound* on the access), the per-level hit/miss record for
+stats attribution, and — for accesses that reach contention-modeled
+components — the *weave chain*: the ordered list of (component, offset,
+kind) steps that the weave phase turns into timed events (Figure 4 of the
+paper).
+"""
+
+from __future__ import annotations
+
+
+class StepKind:
+    """Weave event kinds, matching the paper's Figure 4 labels."""
+
+    HIT = "HIT"
+    MISS = "MISS"
+    READ = "READ"
+    WBACK = "WBACK"
+    RESP = "RESP"
+    NOC = "NOC"
+
+
+class AccessContext:
+    """Mutable state for one access's trip through the hierarchy."""
+
+    __slots__ = ("core_id", "line", "write", "ifetch", "latency", "steps",
+                 "missed_levels", "hit_level", "invalidations", "wbacks",
+                 "shared_evictions")
+
+    def __init__(self, core_id, line, write, ifetch=False):
+        self.core_id = core_id
+        self.line = line
+        self.write = write
+        self.ifetch = ifetch
+        self.latency = 0
+        #: Lines this access evicted from shared caches (fills beyond
+        #: the private levels) — the second class of path-altering
+        #: interference the paper's Figure 2 characterizes.
+        self.shared_evictions = ()
+        #: Weave chain: (weave_component, offset_cycles, kind). Offsets are
+        #: relative to the cycle the core issues the access and reflect
+        #: zero-load timing, i.e. each event's lower bound.
+        self.steps = []
+        self.missed_levels = []
+        self.hit_level = None
+        self.invalidations = 0
+        #: Off-critical-path writebacks: (weave_component, offset, kind).
+        self.wbacks = []
+
+    def add_step(self, weave_component, kind):
+        if weave_component is not None:
+            self.steps.append((weave_component, self.latency, kind))
+
+    def add_step_at(self, weave_component, offset, kind):
+        """Record a weave step at an explicit zero-load offset."""
+        if weave_component is not None:
+            self.steps.append((weave_component, offset, kind))
+
+    def add_wback(self, weave_component, kind=StepKind.WBACK):
+        if weave_component is not None:
+            self.wbacks.append((weave_component, self.latency, kind))
+
+    def record_miss(self, level_name):
+        self.missed_levels.append(level_name)
+
+    def record_hit(self, level_name):
+        if self.hit_level is None:
+            self.hit_level = level_name
+
+    @property
+    def beyond_private(self):
+        """True if the access generated weave-phase events."""
+        return bool(self.steps)
+
+
+class AccessResult:
+    """Immutable summary returned to the core timing model."""
+
+    __slots__ = ("latency", "missed_levels", "hit_level", "steps", "wbacks",
+                 "line", "write", "core_id", "invalidations",
+                 "shared_evictions")
+
+    def __init__(self, ctx):
+        self.latency = ctx.latency
+        self.missed_levels = tuple(ctx.missed_levels)
+        self.hit_level = ctx.hit_level
+        self.steps = tuple(ctx.steps)
+        self.wbacks = tuple(ctx.wbacks)
+        self.line = ctx.line
+        self.write = ctx.write
+        self.core_id = ctx.core_id
+        self.invalidations = ctx.invalidations
+        self.shared_evictions = ctx.shared_evictions
+
+    @property
+    def beyond_private(self):
+        return bool(self.steps)
+
+    def missed(self, level_name):
+        return level_name in self.missed_levels
+
+    def __repr__(self):
+        return ("AccessResult(lat=%d, hit=%s, missed=%s)"
+                % (self.latency, self.hit_level, list(self.missed_levels)))

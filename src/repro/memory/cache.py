@@ -1,0 +1,362 @@
+"""Coherent cache models: MESI, inclusive, with in-cache directories.
+
+Mirrors zsim's cache design (Section 3.2.1): each cache composes a fully
+decoupled associative array, replacement policy, and coherence controller,
+plus an optional weave timing model.  Accesses travel *up* the hierarchy
+(fetches, writebacks) and *down* (invalidations, downgrades); coherence is
+maintained in the order accesses are simulated in the bound phase, which
+is inaccurate only for same-line races — exactly the rare path-altering
+interference the bound-weave algorithm tolerates.
+
+Shared caches are banked: each bank is its own :class:`Cache` instance;
+all banks of a level share one children list so child identities are
+stable across banks.
+"""
+
+from __future__ import annotations
+
+from repro.memory.access import StepKind
+from repro.memory.cache_array import CacheArray
+from repro.memory.coherence import MESI
+
+
+class Cache:
+    """One coherent cache (a private cache or one bank of a shared one)."""
+
+    def __init__(self, name, level, num_sets, ways, latency, repl="lru",
+                 tile=0, seed=0, hash_sets=False):
+        self.name = name
+        self.level = level            # "l1i" | "l1d" | "l2" | "l3"
+        self.latency = latency
+        self.tile = tile
+        self.array = CacheArray(num_sets, ways, repl=repl, seed=seed,
+                                hash_sets=hash_sets)
+        #: Wired by the hierarchy builder:
+        self.children = []            # caches below (empty for L1s)
+        self.parent_select = None     # line -> (parent, net_latency)
+        self.down_latency = 0         # cost of inv/downgrade round trip
+        self.weave = None             # weave component, shared caches only
+        self.noc_routes = None        # (src,dst) -> NoC weave component
+        # In-cache directory over children.
+        self._sharers = {}            # line -> set of child caches
+        self._owner = {}              # line -> child cache holding E/M
+        # Stats (plain attributes: these are hot counters).
+        self.accesses = 0
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.writebacks = 0           # dirty evictions sent to parent
+        self.invalidations = 0        # lines invalidated from above
+        self.downgrades = 0
+        self.upgrades = 0             # S->E transitions requested
+        self.prefetch_fills = 0
+
+    # ------------------------------------------------------------------
+    # Requests from below (the "up" path)
+    # ------------------------------------------------------------------
+
+    def handle_access(self, line, write, requester, ctx):
+        """Serve a GETS/GETX from ``requester`` (a child cache, or None
+        when this is an L1 being accessed by a core).  Returns the MESI
+        state granted to the requester."""
+        self.accesses += 1
+        arrival = ctx.latency
+        ctx.latency += self.latency
+        state = self.array.lookup(line)
+        if state is None:
+            self.misses += 1
+            ctx.record_miss(self.level)
+            if self.weave is not None:
+                ctx.add_step_at(self.weave, arrival, StepKind.MISS)
+            state = self._fetch_and_fill(line, write, ctx)
+        else:
+            self.hits += 1
+            ctx.record_hit(self.level)
+            if self.weave is not None:
+                ctx.add_step_at(self.weave, arrival, StepKind.HIT)
+            if write and state == MESI.S:
+                # Upgrade: gain exclusivity from the parent level.
+                self.upgrades += 1
+                parent, net = self.parent_select(line)
+                ctx.latency += net
+                parent.acquire_exclusive(line, self, ctx)
+                state = MESI.E
+                self.array.update_state(line, state)
+        if self.children:
+            return self._grant_to_child(line, write, requester, state, ctx)
+        # Leaf (L1): apply the access to our own copy.
+        if write:
+            state = MESI.M
+            self.array.update_state(line, state)
+        return state
+
+    def _fetch_and_fill(self, line, write, ctx):
+        """Miss path: fetch from parent, fill, handle the victim."""
+        parent, net = self.parent_select(line)
+        if self.noc_routes is not None:
+            route = self.noc_routes.get(
+                (self.tile, getattr(parent, "tile", self.tile)))
+            if route is not None:
+                ctx.add_step_at(route, ctx.latency, StepKind.NOC)
+        ctx.latency += net
+        granted = parent.handle_access(line, write, self, ctx)
+        victim, vstate = self.array.fill(line, granted)
+        if victim is not None:
+            self._evict(victim, vstate, ctx)
+        return granted
+
+    def prefetch_fill(self, line, ctx):
+        """Bring ``line`` into this cache without a requesting child
+        (hardware prefetch).  No directory entry is created — the first
+        demand access installs sharers as usual.  Returns True if a fill
+        happened (False on a prefetch hit)."""
+        if self.array.lookup(line, touch=False) is not None:
+            return False
+        self.prefetch_fills += 1
+        self._fetch_and_fill(line, False, ctx)
+        return True
+
+    def acquire_exclusive(self, line, requester, ctx):
+        """Upgrade request from ``requester``: invalidate every other copy
+        below this level and ensure this level itself is exclusive."""
+        dirty = False
+        for child in list(self._sharers.get(line, ())):
+            if child is not requester:
+                dirty |= child.invalidate_subtree(line, ctx)
+                ctx.latency += self.down_latency
+                ctx.invalidations += 1
+        state = self.array.lookup(line, touch=False)
+        if state == MESI.S:
+            parent, net = self.parent_select(line)
+            ctx.latency += net
+            parent.acquire_exclusive(line, self, ctx)
+            state = MESI.E
+        if dirty and state == MESI.E:
+            state = MESI.M
+        if state is not None:
+            self.array.update_state(line, state)
+        self._sharers[line] = {requester}
+        self._owner[line] = requester
+
+    def child_evicted(self, line, child, dirty, ctx):
+        """A child evicted its copy (writeback if dirty)."""
+        sharers = self._sharers.get(line)
+        if sharers is not None:
+            sharers.discard(child)
+            if not sharers:
+                del self._sharers[line]
+        if self._owner.get(line) is child:
+            del self._owner[line]
+        if dirty:
+            # Dirty data lands in this cache; inclusion guarantees the
+            # line is resident.
+            state = self.array.lookup(line, touch=False)
+            if state is not None:
+                self.array.update_state(line, MESI.M)
+
+    # ------------------------------------------------------------------
+    # Coherence actions from above (the "down" path)
+    # ------------------------------------------------------------------
+
+    def invalidate_subtree(self, line, ctx=None):
+        """Invalidate this cache's copy and every copy below.  Returns
+        True if any invalidated copy was dirty."""
+        dirty = False
+        for child in self._clear_directory(line):
+            dirty |= child.invalidate_subtree(line, ctx)
+        state = self.array.invalidate(line)
+        if state is not None:
+            self.invalidations += 1
+            dirty |= state == MESI.M
+        return dirty
+
+    def downgrade_subtree(self, line, ctx=None):
+        """Downgrade this cache's copy (and the owning subtree) to S.
+        Returns True if dirty data was flushed."""
+        dirty = False
+        owner = self._owner.pop(line, None)
+        if owner is not None:
+            dirty |= owner.downgrade_subtree(line, ctx)
+        state = self.array.lookup(line, touch=False)
+        if state is not None and state != MESI.S:
+            self.downgrades += 1
+            dirty |= state == MESI.M
+            self.array.update_state(line, MESI.S)
+        return dirty
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _grant_to_child(self, line, write, requester, own_state, ctx):
+        """Directory bookkeeping: decide the child's granted state and
+        invalidate/downgrade other children as needed."""
+        sharers = self._sharers.setdefault(line, set())
+        if write:
+            dirty = False
+            for child in list(sharers):
+                if child is not requester:
+                    dirty |= child.invalidate_subtree(line, ctx)
+                    ctx.latency += self.down_latency
+                    ctx.invalidations += 1
+            sharers.clear()
+            sharers.add(requester)
+            self._owner[line] = requester
+            if dirty:
+                self.array.update_state(line, MESI.M)
+            return MESI.E
+        owner = self._owner.get(line)
+        if owner is not None and owner is not requester:
+            dirty = owner.downgrade_subtree(line, ctx)
+            ctx.latency += self.down_latency
+            del self._owner[line]
+            if dirty:
+                self.array.update_state(line, MESI.M)
+                own_state = MESI.M
+        sharers.add(requester)
+        if len(sharers) == 1 and own_state in (MESI.E, MESI.M):
+            self._owner[line] = requester
+            return MESI.E
+        return MESI.S
+
+    def _evict(self, line, state, ctx):
+        """Evict ``line`` (inclusive: purge the subtree below first)."""
+        self.evictions += 1
+        if ctx is not None and self.children:
+            # Shared-cache victims feed the interference profiler's
+            # eviction-driven path-altering class (Figure 2).
+            ctx.shared_evictions += (line,)
+        dirty = state == MESI.M
+        for child in self._clear_directory(line):
+            dirty |= child.invalidate_subtree(line, ctx)
+        parent, _net = self.parent_select(line)
+        parent.child_evicted(line, self, dirty, ctx)
+        if dirty:
+            self.writebacks += 1
+
+    def _clear_directory(self, line):
+        """Drop all directory state for ``line``; returns prior sharers."""
+        sharers = self._sharers.pop(line, set())
+        self._owner.pop(line, None)
+        return sharers
+
+    # ------------------------------------------------------------------
+    # Introspection (tests, stats)
+    # ------------------------------------------------------------------
+
+    def line_state(self, line):
+        """MESI state of ``line`` here (MESI.I if absent); no LRU touch."""
+        state = self.array.lookup(line, touch=False)
+        return MESI.I if state is None else state
+
+    def sharers_of(self, line):
+        return set(self._sharers.get(line, ()))
+
+    def fill_stats(self, node):
+        """Dump counters into a :class:`~repro.stats.StatsNode`."""
+        node.set("accesses", self.accesses)
+        node.set("hits", self.hits)
+        node.set("misses", self.misses)
+        node.set("evictions", self.evictions)
+        node.set("writebacks", self.writebacks)
+        node.set("invalidations", self.invalidations)
+        node.set("downgrades", self.downgrades)
+        node.set("upgrades", self.upgrades)
+        node.set("prefetch_fills", self.prefetch_fills)
+
+    def __repr__(self):
+        return "Cache(%s)" % self.name
+
+
+class MainMemory:
+    """Terminal level: memory controllers with a directory over the top
+    cache level.  The directory is only exercised when the top level is
+    not a single shared cache (e.g., multiple per-tile L2s and no L3)."""
+
+    def __init__(self, config, network, num_tiles):
+        self.config = config
+        self.network = network
+        self.num_tiles = num_tiles
+        self.level = "mem"
+        self.name = "mem"
+        self.children = []
+        self.down_latency = 0
+        #: One weave component per controller, set by the hierarchy.
+        self.ctrl_weaves = [None] * config.controllers
+        self.noc_routes = None
+        self._sharers = {}
+        self._owner = {}
+        self.reads = 0
+        self.writebacks = 0
+
+    def controller_of(self, line):
+        return line % self.config.controllers
+
+    def controller_tile(self, ctrl):
+        if self.config.controllers >= self.num_tiles:
+            return ctrl % self.num_tiles
+        stride = self.num_tiles // self.config.controllers
+        return (ctrl * stride) % self.num_tiles
+
+    def handle_access(self, line, write, requester, ctx):
+        self.reads += 1
+        ctrl = self.controller_of(line)
+        src_tile = getattr(requester, "tile", 0)
+        ctrl_tile = self.controller_tile(ctrl)
+        if self.noc_routes is not None and src_tile != ctrl_tile:
+            route = self.noc_routes.get((src_tile, ctrl_tile))
+            if route is not None:
+                ctx.add_step_at(route, ctx.latency, StepKind.NOC)
+        ctx.latency += self.network.latency(src_tile, ctrl_tile)
+        arrival = ctx.latency
+        ctx.latency += self.config.zero_load_latency
+        ctx.add_step_at(self.ctrl_weaves[ctrl], arrival, StepKind.READ)
+        # Directory over top-level caches (same policy as Cache).
+        sharers = self._sharers.setdefault(line, set())
+        if write:
+            for child in list(sharers):
+                if child is not requester:
+                    child.invalidate_subtree(line, ctx)
+                    ctx.invalidations += 1
+            sharers.clear()
+            sharers.add(requester)
+            self._owner[line] = requester
+            return MESI.E
+        owner = self._owner.get(line)
+        if owner is not None and owner is not requester:
+            owner.downgrade_subtree(line, ctx)
+            del self._owner[line]
+        sharers.add(requester)
+        if len(sharers) == 1:
+            self._owner[line] = requester
+            return MESI.E
+        return MESI.S
+
+    def acquire_exclusive(self, line, requester, ctx):
+        for child in list(self._sharers.get(line, ())):
+            if child is not requester:
+                child.invalidate_subtree(line, ctx)
+                ctx.invalidations += 1
+        self._sharers[line] = {requester}
+        self._owner[line] = requester
+
+    def child_evicted(self, line, child, dirty, ctx):
+        sharers = self._sharers.get(line)
+        if sharers is not None:
+            sharers.discard(child)
+            if not sharers:
+                del self._sharers[line]
+        if self._owner.get(line) is child:
+            del self._owner[line]
+        if dirty:
+            self.writebacks += 1
+            ctrl = self.controller_of(line)
+            if ctx is not None:
+                ctx.add_wback(self.ctrl_weaves[ctrl])
+
+    def fill_stats(self, node):
+        node.set("reads", self.reads)
+        node.set("writebacks", self.writebacks)
+
+    def __repr__(self):
+        return "MainMemory(%d controllers)" % self.config.controllers

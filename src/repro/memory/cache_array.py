@@ -1,0 +1,115 @@
+"""Set-associative cache array, fully decoupled from coherence logic.
+
+The array stores MESI states for lines and answers lookup / fill /
+invalidate, delegating victim choice to a replacement policy.  Shared
+caches are banked at a level above this (one array per bank).
+"""
+
+from __future__ import annotations
+
+from repro.memory.coherence import MESI
+from repro.memory.replacement import make_policy
+
+
+class CacheArray:
+    """One bank's worth of sets x ways."""
+
+    def __init__(self, num_sets, ways, repl="lru", seed=0,
+                 hash_sets=False):
+        if num_sets < 1 or ways < 1:
+            raise ValueError("Array needs at least one set and one way")
+        self.num_sets = num_sets
+        #: XOR-fold the upper address bits into the set index (zsim's
+        #: hashed arrays): spreads pathological strides across sets.
+        self.hash_sets = hash_sets
+        self.ways = ways
+        # Per set: way index -> (line, state); and line -> way for lookup.
+        self._lines = [dict() for _ in range(num_sets)]
+        self._ways = [[None] * ways for _ in range(num_sets)]
+        self._repl = [make_policy(repl, ways, seed + i)
+                      for i in range(num_sets)]
+
+    def set_index(self, line):
+        if self.hash_sets:
+            line = line ^ (line // self.num_sets) \
+                ^ (line // (self.num_sets * self.num_sets))
+        return line % self.num_sets
+
+    def lookup(self, line, touch=True):
+        """Return the MESI state of ``line`` or None if not present."""
+        idx = self.set_index(line)
+        entry = self._lines[idx].get(line)
+        if entry is None:
+            return None
+        way, state = entry
+        if touch:
+            self._repl[idx].touch(way)
+        return state
+
+    def update_state(self, line, state):
+        """Change the state of a resident line."""
+        idx = self.set_index(line)
+        way, _ = self._lines[idx][line]
+        self._lines[idx][line] = (way, state)
+
+    def fill(self, line, state):
+        """Insert ``line``; returns (victim_line, victim_state) if an
+        eviction was needed, else (None, None).  The caller must handle
+        the victim (writeback + inclusive invalidations) before relying on
+        the fill."""
+        idx = self.set_index(line)
+        lines = self._lines[idx]
+        if line in lines:
+            raise ValueError("fill() of already-present line 0x%x" % line)
+        ways = self._ways[idx]
+        repl = self._repl[idx]
+        victim_line = victim_state = None
+        way = None
+        for candidate in range(self.ways):
+            if ways[candidate] is None:
+                way = candidate
+                break
+        if way is None:
+            way = repl.victim()
+            victim_line = ways[way]
+            victim_state = lines[victim_line][1]
+            del lines[victim_line]
+        ways[way] = line
+        lines[line] = (way, state)
+        repl.touch(way)
+        return victim_line, victim_state
+
+    def invalidate(self, line):
+        """Remove ``line``; returns its state, or None if absent."""
+        idx = self.set_index(line)
+        entry = self._lines[idx].pop(line, None)
+        if entry is None:
+            return None
+        way, state = entry
+        self._ways[idx][way] = None
+        return state
+
+    def occupancy(self):
+        """Total resident lines (for tests and stats)."""
+        return sum(len(s) for s in self._lines)
+
+    def resident_lines(self):
+        """All resident (line, state) pairs (test/debug helper)."""
+        for lines in self._lines:
+            for line, (_, state) in lines.items():
+                yield line, state
+
+    def would_evict(self, line):
+        """Line that filling ``line`` would evict right now, or None.
+
+        Used by the interference profiler to detect eviction-driven
+        path-altering interference without mutating the array.
+        """
+        idx = self.set_index(line)
+        lines = self._lines[idx]
+        if line in lines:
+            return None
+        ways = self._ways[idx]
+        if any(w is None for w in ways):
+            return None
+        return ways[self._repl[idx].victim()]

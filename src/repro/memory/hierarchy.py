@@ -1,0 +1,284 @@
+"""Memory hierarchy builder: wires cores, caches, NoC, and controllers.
+
+Builds the arbitrarily configurable hierarchies the paper supports from a
+:class:`~repro.config.SystemConfig`: per-core split L1s, an optional
+private-per-core or shared-per-tile L2, a banked fully-shared inclusive
+L3, a zero-load NoC, and per-tile memory controllers.  Shared levels get
+weave timing models; private levels are bound-phase only (contention in
+private levels is predominantly due to the core itself, Section 3.2.1).
+"""
+
+from __future__ import annotations
+
+from repro.memory.access import AccessContext, AccessResult
+from repro.memory.cache import Cache, MainMemory
+from repro.memory.network import Network
+from repro.memory.weave import CacheBankWeave, MemCtrlWeave
+
+_HASH_MULT = 0x9E3779B1
+
+
+def hash_line(line):
+    """Cheap address hash used to spread lines across banks (Table 2's
+    "hashed" shared L3)."""
+    return ((line * _HASH_MULT) & 0xFFFFFFFF) >> 8
+
+
+class MemoryHierarchy:
+    """The full memory system for one simulated chip."""
+
+    def __init__(self, config, build_weave=True, profiler=None):
+        config.validate()
+        self.config = config
+        self.profiler = profiler
+        self.line_bits = config.l1d.line_bytes.bit_length() - 1
+        num_tiles = config.num_tiles
+        num_cores = config.num_cores
+        self.network = Network(config.network, num_tiles)
+        self.mainmem = MainMemory(config.memory, self.network, num_tiles)
+        self.weave_components = []
+
+        # Optional weave-phase NoC (the paper's future work, see
+        # repro.memory.noc_weave): one route component per tile pair.
+        self.noc_fabric = None
+        self.noc_routes = None
+        if build_weave and config.network.weave_model \
+                and config.network.topology != "ideal" and num_tiles > 1:
+            from repro.memory.noc_weave import NocFabric, NocRouteWeave
+            self.noc_fabric = NocFabric(self.network, num_tiles,
+                                        config.network.link_occupancy)
+            self.noc_routes = {}
+            for src in range(num_tiles):
+                for dst in range(num_tiles):
+                    if src != dst:
+                        route = NocRouteWeave(self.noc_fabric, src, dst)
+                        self.noc_routes[(src, dst)] = route
+                        self.weave_components.append(route)
+            self.mainmem.noc_routes = self.noc_routes
+
+        if build_weave:
+            for ctrl in range(config.memory.controllers):
+                weave = MemCtrlWeave("memctrl%d" % ctrl, config.memory,
+                                     config.core.freq_mhz,
+                                     tile=self.mainmem.controller_tile(ctrl))
+                self.mainmem.ctrl_weaves[ctrl] = weave
+                self.weave_components.append(weave)
+
+        # --- L3: banked, fully shared, inclusive ----------------------
+        self.l3_banks = []
+        if config.l3 is not None:
+            l3 = config.l3
+            for bank in range(l3.banks):
+                cache = Cache("l3b%d" % bank, "l3", l3.num_sets, l3.ways,
+                              l3.latency, repl=l3.repl,
+                              tile=bank % num_tiles, seed=bank,
+                              hash_sets=l3.hash_sets)
+                cache.parent_select = self._link_to_memory(cache)
+                cache.down_latency = (self.network.round_trip(0, 0)
+                                      + config.l1d.latency)
+                if build_weave:
+                    weave = CacheBankWeave(
+                        cache.name, l3.latency, ports=l3.ports,
+                        mshrs=l3.mshrs,
+                        miss_hold_cycles=config.memory.zero_load_latency,
+                        tile=cache.tile)
+                    cache.weave = weave
+                    self.weave_components.append(weave)
+                self.l3_banks.append(cache)
+
+        # --- L2: private per core, or shared per tile -----------------
+        self.l2s = []
+        if config.l2 is not None:
+            l2 = config.l2
+            count = num_tiles if config.l2_shared_per_tile else num_cores
+            for idx in range(count):
+                tile = idx if config.l2_shared_per_tile \
+                    else config.core_tile(idx)
+                cache = Cache("l2-%d" % idx, "l2", l2.num_sets, l2.ways,
+                              l2.latency, repl=l2.repl, tile=tile,
+                              seed=1000 + idx, hash_sets=l2.hash_sets)
+                cache.parent_select = self._link_to_l3_or_mem(cache)
+                cache.down_latency = config.l1d.latency
+                cache.noc_routes = self.noc_routes
+                if build_weave and config.l2_shared_per_tile:
+                    weave = CacheBankWeave(
+                        cache.name, l2.latency, ports=l2.ports,
+                        mshrs=l2.mshrs,
+                        miss_hold_cycles=config.memory.zero_load_latency,
+                        tile=tile)
+                    cache.weave = weave
+                    self.weave_components.append(weave)
+                self.l2s.append(cache)
+
+        # --- L1s: per core, split I/D ---------------------------------
+        # --- L2 stride prefetchers (one per core) ----------------------
+        self.prefetchers = []
+        if config.l2 is not None and config.l2.prefetch_degree > 0:
+            from repro.memory.prefetcher import StridePrefetcher
+            self.prefetchers = [
+                StridePrefetcher(config.l2.prefetch_degree)
+                for _ in range(num_cores)]
+
+        self.l1i = []
+        self.l1d = []
+        for core in range(num_cores):
+            tile = config.core_tile(core)
+            for level, cfg, caches in (("l1i", config.l1i, self.l1i),
+                                       ("l1d", config.l1d, self.l1d)):
+                cache = Cache("%s-%d" % (level, core), level, cfg.num_sets,
+                              cfg.ways, cfg.latency, repl=cfg.repl,
+                              tile=tile, seed=2000 + core,
+                              hash_sets=cfg.hash_sets)
+                cache.parent_select = self._link_l1(core, cache)
+                if config.l2 is None:
+                    cache.noc_routes = self.noc_routes
+                caches.append(cache)
+
+        self._wire_children()
+
+    # ------------------------------------------------------------------
+    # Wiring helpers
+    # ------------------------------------------------------------------
+
+    def _link_to_memory(self, cache):
+        mainmem = self.mainmem
+
+        def select(line):
+            return mainmem, 0  # memory adds its own network latency
+        return select
+
+    def _link_to_l3_or_mem(self, cache):
+        if not self.l3_banks:
+            return self._link_to_memory(cache)
+        banks = self.l3_banks
+        network = self.network
+        hashed = self.config.l3.hash_banks
+        src_tile = cache.tile
+
+        def select(line):
+            key = hash_line(line) if hashed else line
+            bank = banks[key % len(banks)]
+            return bank, network.latency(src_tile, bank.tile)
+        return select
+
+    def _link_l1(self, core, cache):
+        if self.l2s:
+            if self.config.l2_shared_per_tile:
+                parent = self.l2s[self.config.core_tile(core)]
+            else:
+                parent = self.l2s[core]
+            return lambda line: (parent, 0)
+        return self._link_to_l3_or_mem(cache)
+
+    def _wire_children(self):
+        """Populate children lists so directories know their subtrees."""
+        for cache in self.l3_banks:
+            self.mainmem.children.append(cache)
+        if self.l2s:
+            for core in range(self.config.num_cores):
+                if self.config.l2_shared_per_tile:
+                    parent = self.l2s[self.config.core_tile(core)]
+                else:
+                    parent = self.l2s[core]
+                parent.children.append(self.l1i[core])
+                parent.children.append(self.l1d[core])
+            uppers = self.l2s
+        else:
+            uppers = self.l1i + self.l1d
+        target = self.l3_banks if self.l3_banks else [self.mainmem]
+        for upper in uppers:
+            for cache in target:
+                if cache is not self.mainmem:
+                    cache.children.append(upper)
+
+    # ------------------------------------------------------------------
+    # Access entry points (bound phase)
+    # ------------------------------------------------------------------
+
+    def line_of(self, addr):
+        return addr >> self.line_bits
+
+    def access(self, core_id, addr, write, cycle=0, ifetch=False):
+        """One core access; returns an :class:`AccessResult` whose latency
+        is the zero-load bound and whose steps feed the weave phase."""
+        line = addr >> self.line_bits
+        ctx = AccessContext(core_id, line, write, ifetch)
+        l1 = self.l1i[core_id] if ifetch else self.l1d[core_id]
+        l1.handle_access(line, write, None, ctx)
+        if (self.prefetchers and not ifetch
+                and "l1d" in ctx.missed_levels):
+            self._prefetch(core_id, line, ctx)
+        result = AccessResult(ctx)
+        if self.profiler is not None:
+            self.profiler.record(result, cycle)
+        return result
+
+    def _prefetch(self, core_id, line, ctx):
+        """Train the core's stride prefetcher on the L2 access stream
+        and issue fills.  Prefetch traffic is off the demand access's
+        critical path; its weave events ride along as side events."""
+        if self.config.l2_shared_per_tile:
+            l2 = self.l2s[self.config.core_tile(core_id)]
+        else:
+            l2 = self.l2s[core_id]
+        for pf_line in self.prefetchers[core_id].observe(line):
+            pf_ctx = AccessContext(core_id, pf_line, False)
+            if l2.prefetch_fill(pf_line, pf_ctx):
+                for comp, offset, kind in pf_ctx.steps:
+                    ctx.wbacks.append((comp, offset, kind))
+                ctx.wbacks.extend(pf_ctx.wbacks)
+
+    # ------------------------------------------------------------------
+    # Stats and invariants
+    # ------------------------------------------------------------------
+
+    def all_caches(self):
+        return list(self.l1i) + list(self.l1d) + list(self.l2s) \
+            + list(self.l3_banks)
+
+    def fill_stats(self, node):
+        for cache in self.all_caches():
+            cache.fill_stats(node.child(cache.name))
+        self.mainmem.fill_stats(node.child("mem"))
+
+    def reset_weave(self):
+        for comp in self.weave_components:
+            comp.reset()
+        if self.noc_fabric is not None:
+            self.noc_fabric.reset()
+
+    def check_inclusion(self):
+        """Invariant: every line in a child is present in its parent.
+        Returns a list of violations (empty when the invariant holds)."""
+        violations = []
+        for cache in self.all_caches():
+            if cache.parent_select is None:
+                continue
+            for line, _state in cache.array.resident_lines():
+                parent, _ = cache.parent_select(line)
+                if isinstance(parent, MainMemory):
+                    continue
+                if parent.line_state(line) == 0:  # MESI.I
+                    violations.append((cache.name, parent.name, line))
+        return violations
+
+    def check_coherence(self):
+        """Invariant: single-writer — for every line present anywhere in
+        the L1s, at most one L1 holds it in M/E, and if one does, no other
+        L1 holds it at all.  Returns violations."""
+        from repro.memory.coherence import check_single_writer
+        lines = {}
+        for cache in list(self.l1i) + list(self.l1d):
+            for line, state in cache.array.resident_lines():
+                lines.setdefault(line, []).append((cache.name, state))
+        violations = []
+        for line, copies in lines.items():
+            # Copies in the same core's L1I/L1D are fine; group by core.
+            by_core = {}
+            for name, state in copies:
+                core = name.split("-")[1]
+                by_core.setdefault(core, []).append(state)
+            states = [max(v) for v in by_core.values()]
+            if not check_single_writer(states):
+                violations.append((line, copies))
+        return violations

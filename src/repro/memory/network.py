@@ -1,0 +1,51 @@
+"""Zero-load on-chip network latency model.
+
+The paper models the NoC with zero-load latencies only (no weave model):
+"well-provisioned NoCs can be implemented at modest cost, and zero-load
+latencies model most of their performance impact in real workloads".
+Endpoints are tiles; shared L3 banks and memory controllers are placed on
+tiles round-robin.
+"""
+
+from __future__ import annotations
+
+import math
+
+
+class Network:
+    """Computes one-way zero-load latencies between tiles."""
+
+    def __init__(self, config, num_tiles):
+        self.config = config
+        self.num_tiles = num_tiles
+        if config.topology == "mesh":
+            self._side = max(1, int(math.ceil(math.sqrt(num_tiles))))
+        elif config.topology not in ("ring", "ideal"):
+            raise ValueError("Unknown topology: %r" % (config.topology,))
+
+    def hops(self, src_tile, dst_tile):
+        """Hop count between two tiles."""
+        if src_tile == dst_tile:
+            return 0
+        topo = self.config.topology
+        if topo == "ideal":
+            return 0
+        if topo == "ring":
+            dist = abs(src_tile - dst_tile)
+            return min(dist, self.num_tiles - dist)
+        # Mesh: Manhattan distance on a near-square grid.
+        sx, sy = src_tile % self._side, src_tile // self._side
+        dx, dy = dst_tile % self._side, dst_tile // self._side
+        return abs(sx - dx) + abs(sy - dy)
+
+    def latency(self, src_tile, dst_tile):
+        """One-way latency in core cycles."""
+        cfg = self.config
+        hops = self.hops(src_tile, dst_tile)
+        per_hop = cfg.hop_latency
+        if cfg.topology == "mesh":
+            per_hop += cfg.router_stages
+        return cfg.injection_latency + hops * per_hop
+
+    def round_trip(self, src_tile, dst_tile):
+        return 2 * self.latency(src_tile, dst_tile)

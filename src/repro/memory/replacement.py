@@ -1,0 +1,114 @@
+"""Cache replacement policies.
+
+Each cache set owns one policy instance tracking way metadata.  Policies
+are fully decoupled from the associative array (the paper stresses that
+zsim's cache models keep array, replacement, and coherence separate for
+modularity).
+"""
+
+from __future__ import annotations
+
+import random
+
+
+class ReplacementPolicy:
+    """Interface: per-set policy over ``ways`` ways."""
+
+    def __init__(self, ways):
+        self.ways = ways
+
+    def touch(self, way):
+        """Record a hit/fill on ``way``."""
+        raise NotImplementedError
+
+    def victim(self):
+        """Pick the way to evict (set is full)."""
+        raise NotImplementedError
+
+
+class LRU(ReplacementPolicy):
+    """True least-recently-used: recency list of way indices."""
+
+    def __init__(self, ways):
+        super().__init__(ways)
+        # Most recent at the end. Starts in way order (way 0 is victim).
+        self._order = list(range(ways))
+
+    def touch(self, way):
+        order = self._order
+        order.remove(way)
+        order.append(way)
+
+    def victim(self):
+        return self._order[0]
+
+
+class TreePLRU(ReplacementPolicy):
+    """Tree pseudo-LRU, the common hardware approximation.
+
+    Ways must be a power of two; the policy keeps a binary tree of
+    direction bits.
+    """
+
+    def __init__(self, ways):
+        if ways & (ways - 1):
+            raise ValueError("TreePLRU requires power-of-two ways")
+        super().__init__(ways)
+        self._bits = [0] * max(1, ways - 1)
+
+    def touch(self, way):
+        # Walk from root to the leaf for `way`, pointing bits away from it.
+        node = 0
+        lo, hi = 0, self.ways
+        while hi - lo > 1:
+            mid = (lo + hi) // 2
+            if way < mid:
+                self._bits[node] = 1  # point at the right half
+                node = 2 * node + 1
+                hi = mid
+            else:
+                self._bits[node] = 0  # point at the left half
+                node = 2 * node + 2
+                lo = mid
+        return None
+
+    def victim(self):
+        node = 0
+        lo, hi = 0, self.ways
+        while hi - lo > 1:
+            mid = (lo + hi) // 2
+            if self._bits[node] == 0:
+                node = 2 * node + 1
+                hi = mid
+            else:
+                node = 2 * node + 2
+                lo = mid
+        return lo
+
+
+class RandomRepl(ReplacementPolicy):
+    """Random replacement with a deterministic per-set RNG."""
+
+    def __init__(self, ways, seed=0):
+        super().__init__(ways)
+        self._rng = random.Random(seed)
+
+    def touch(self, way):
+        return None
+
+    def victim(self):
+        return self._rng.randrange(self.ways)
+
+
+_POLICIES = {"lru": LRU, "tree": TreePLRU, "random": RandomRepl}
+
+
+def make_policy(name, ways, seed=0):
+    """Instantiate a replacement policy by config name."""
+    try:
+        cls = _POLICIES[name]
+    except KeyError:
+        raise ValueError("Unknown replacement policy: %r" % (name,))
+    if cls is RandomRepl:
+        return cls(ways, seed)
+    return cls(ways)

@@ -1,0 +1,35 @@
+"""Statistics: hierarchical counters, metric aggregation, reporting."""
+
+from repro.stats.aggregate import (
+    confidence_interval_95,
+    hmean,
+    ipc,
+    mean,
+    mean_abs,
+    mpki,
+    mpki_error,
+    perf_error,
+    run_until_tight,
+    stdev,
+)
+from repro.stats.ascii_plot import line_plot, scatter_plot
+from repro.stats.counters import StatsNode
+from repro.stats.reporting import format_series, format_table
+
+__all__ = [
+    "StatsNode",
+    "confidence_interval_95",
+    "format_series",
+    "format_table",
+    "hmean",
+    "line_plot",
+    "ipc",
+    "mean",
+    "mean_abs",
+    "mpki",
+    "mpki_error",
+    "perf_error",
+    "scatter_plot",
+    "run_until_tight",
+    "stdev",
+]

@@ -1,0 +1,71 @@
+"""Hierarchical simulation statistics.
+
+zsim aggregates per-component counters into an HDF5 stats file.  We keep
+the same shape — every simulated component owns a named stats node with
+counters and histograms, collected into one tree — but serialize to plain
+dicts/JSON, which is sufficient for a pure-Python reproduction.
+"""
+
+from __future__ import annotations
+
+import json
+
+
+class StatsNode:
+    """A named node in the stats tree: counters plus child nodes."""
+
+    def __init__(self, name):
+        self.name = name
+        self._counters = {}
+        self._children = {}
+
+    def counter(self, name, initial=0):
+        """Get-or-create a counter; returns its current value."""
+        return self._counters.setdefault(name, initial)
+
+    def inc(self, name, amount=1):
+        self._counters[name] = self._counters.get(name, 0) + amount
+
+    def set(self, name, value):
+        self._counters[name] = value
+
+    def get(self, name, default=0):
+        return self._counters.get(name, default)
+
+    def child(self, name):
+        """Get-or-create a child node."""
+        node = self._children.get(name)
+        if node is None:
+            node = StatsNode(name)
+            self._children[name] = node
+        return node
+
+    @property
+    def counters(self):
+        return dict(self._counters)
+
+    @property
+    def children(self):
+        return dict(self._children)
+
+    def to_dict(self):
+        """Serialize the subtree to nested dicts."""
+        out = dict(self._counters)
+        for name, node in self._children.items():
+            out[name] = node.to_dict()
+        return out
+
+    def to_json(self, **kwargs):
+        return json.dumps(self.to_dict(), sort_keys=True, **kwargs)
+
+    def flatten(self, prefix=""):
+        """Yield (dotted_path, value) for every counter in the subtree."""
+        base = prefix + self.name
+        for key, value in self._counters.items():
+            yield "%s.%s" % (base, key), value
+        for node in self._children.values():
+            yield from node.flatten(base + ".")
+
+    def __repr__(self):
+        return ("StatsNode(%r, %d counters, %d children)"
+                % (self.name, len(self._counters), len(self._children)))

@@ -1,0 +1,16 @@
+"""Lightweight user-level virtualization: scheduler, syscalls, clocks."""
+
+from repro.virt.process import SimProcess, SimThread, ThreadState
+from repro.virt.scheduler import Scheduler, SyscallResult
+from repro.virt.sysview import SystemView
+from repro.virt.timing import VirtualClock
+
+__all__ = [
+    "Scheduler",
+    "SimProcess",
+    "SimThread",
+    "SyscallResult",
+    "SystemView",
+    "ThreadState",
+    "VirtualClock",
+]

@@ -1,0 +1,284 @@
+"""Round-robin user-level scheduler with affinities and futex semantics.
+
+Implements the paper's scheduler (Section 3.3): applications may launch
+more threads than simulated cores; a round-robin scheduler with
+per-thread affinities time-multiplexes them.  Blocking syscalls *leave*
+the interval barrier (their core can run another thread or idle) and
+*join* when they complete, avoiding simulator-OS deadlock.
+
+All decisions are made in simulated (bound-phase) cycles, so scheduling
+is deterministic for a given workload and configuration.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.virt.process import SimThread, ThreadState
+from repro.virt import syscalls as sc
+
+
+class SyscallResult:
+    CONTINUE = "continue"   # non-blocking: appears instantaneous
+    BLOCKED = "blocked"     # thread left the barrier
+    EXITED = "exited"
+
+
+class Scheduler:
+    """Deterministic round-robin scheduler over simulated cores."""
+
+    def __init__(self, num_cores, quantum=50_000, syscall_overhead=100,
+                 system_view=None):
+        self.num_cores = num_cores
+        self.quantum = quantum
+        self.syscall_overhead = syscall_overhead
+        #: Optional SystemView serving virtualized /proc reads.
+        self.system_view = system_view
+        self.threads = []
+        self._home_load = [0] * num_cores
+        self._run_queue = deque()
+        self._running = [None] * num_cores   # core id -> SimThread
+        # Futexes: key -> waiters deque; tokens: key -> stored wake count.
+        self._futex_waiters = {}
+        self._futex_tokens = {}
+        # Barriers: key -> (arrived list).
+        self._barriers = {}
+        # Locks: key -> owner thread; waiters: key -> deque.
+        self._lock_owner = {}
+        self._lock_waiters = {}
+        # Sleepers: list of (wake_cycle, thread), kept sorted lazily.
+        self._sleepers = []
+        self.context_switches = 0
+        self.syscalls_handled = 0
+
+    # ------------------------------------------------------------------
+    # Thread management
+    # ------------------------------------------------------------------
+
+    def add_thread(self, thread):
+        if not isinstance(thread, SimThread):
+            raise TypeError("add_thread expects a SimThread")
+        self.threads.append(thread)
+        thread.state = ThreadState.RUNNABLE
+        # Home-core assignment: least-loaded core the affinity allows.
+        # Threads stay on their home unless it keeps them waiting (see
+        # pick_thread), which spreads threads across cores and keeps
+        # placement sticky, like a real affinity-aware round-robin.
+        candidates = [c for c in range(self.num_cores)
+                      if thread.can_run_on(c)]
+        if not candidates:
+            raise ValueError("Thread %s has an empty affinity set"
+                             % thread.name)
+        home = min(candidates, key=self._home_load.__getitem__)
+        thread.home_core = home
+        self._home_load[home] += 1
+        self._run_queue.append(thread)
+        return thread
+
+    def pick_thread(self, core_id, cycle):
+        """Pop the next runnable thread for ``core_id``: its own homed
+        threads first (FIFO); a foreign thread may be stolen only when
+        its home core is busy running some other thread (work
+        conservation without churn)."""
+        self._wake_sleepers(cycle)
+        queue = self._run_queue
+        chosen = None
+        for thread in queue:
+            if thread.state != ThreadState.RUNNABLE:
+                continue
+            home = thread.home_core
+            if home is None or home == core_id:
+                chosen = thread
+                break
+            if (chosen is None and thread.can_run_on(core_id)
+                    and self._running[home] is not None):
+                chosen = thread
+                # Keep scanning: a homed thread still wins.
+        if chosen is None:
+            # Drop stale entries opportunistically.
+            while queue and queue[0].state != ThreadState.RUNNABLE:
+                queue.popleft()
+            return None
+        queue.remove(chosen)
+        chosen.state = ThreadState.RUNNING
+        chosen.core = core_id
+        chosen.run_start_cycle = max(cycle, chosen.wake_cycle)
+        self._running[core_id] = chosen
+        self.context_switches += 1
+        return chosen
+
+    def reattach(self, core_id, thread):
+        """Put a thread back on its core after a non-blocking syscall."""
+        thread.state = ThreadState.RUNNING
+        thread.core = core_id
+        self._running[core_id] = thread
+
+    def running_thread(self, core_id):
+        return self._running[core_id]
+
+    def deschedule(self, core_id, cycle=None):
+        """Remove the running thread from a core (it keeps its state);
+        with ``cycle``, the thread's CPU time is credited."""
+        thread = self._running[core_id]
+        self._running[core_id] = None
+        if thread is not None:
+            thread.core = None
+            if cycle is not None and cycle > thread.run_start_cycle:
+                thread.cpu_cycles += cycle - thread.run_start_cycle
+                thread.run_start_cycle = cycle
+        return thread
+
+    def preempt_if_due(self, core_id, cycle):
+        """Round-robin: preempt the core's thread at a quantum boundary
+        when other runnable threads are waiting.  Returns the preempted
+        thread or None."""
+        thread = self._running[core_id]
+        if thread is None or not self._run_queue:
+            return None
+        if cycle - thread.run_start_cycle < self.quantum:
+            return None
+        if not any(t.can_run_on(core_id) for t in self._run_queue):
+            return None
+        self.deschedule(core_id, cycle)
+        thread.state = ThreadState.RUNNABLE
+        thread.wake_cycle = cycle
+        self._run_queue.append(thread)
+        return thread
+
+    def runnable_count(self, cycle=None):
+        if cycle is not None:
+            self._wake_sleepers(cycle)
+        return len(self._run_queue)
+
+    @property
+    def live_threads(self):
+        return [t for t in self.threads if t.state != ThreadState.DONE]
+
+    @property
+    def all_done(self):
+        return not self.live_threads
+
+    def has_pending_work(self, cycle):
+        """True if any thread could run now or later."""
+        return bool(self._run_queue or self._sleepers
+                    or any(t is not None for t in self._running))
+
+    def wake_sleepers_until(self, cycle):
+        """Move sleepers due by ``cycle`` onto the run queue (used by the
+        bound phase's second-chance pass within an interval)."""
+        self._wake_sleepers(cycle)
+
+    def next_wake_cycle(self):
+        """Earliest sleeper wake-up, or None (deadlock detection)."""
+        if not self._sleepers:
+            return None
+        return min(c for c, _ in self._sleepers)
+
+    # ------------------------------------------------------------------
+    # Syscall handling
+    # ------------------------------------------------------------------
+
+    def handle_syscall(self, thread, syscall, cycle):
+        """Apply ``syscall`` issued by ``thread`` at ``cycle``.  Returns a
+        :class:`SyscallResult` value."""
+        self.syscalls_handled += 1
+        thread.syscall_count += 1
+        if isinstance(syscall, sc.FutexWait):
+            tokens = self._futex_tokens.get(syscall.key, 0)
+            if tokens > 0:
+                self._futex_tokens[syscall.key] = tokens - 1
+                return SyscallResult.CONTINUE
+            self._futex_waiters.setdefault(syscall.key,
+                                           deque()).append(thread)
+            return self._block(thread)
+        if isinstance(syscall, sc.FutexWake):
+            waiters = self._futex_waiters.get(syscall.key)
+            woken = 0
+            while waiters and woken < syscall.count:
+                self._wake(waiters.popleft(), cycle)
+                woken += 1
+            if woken < syscall.count:
+                self._futex_tokens[syscall.key] = (
+                    self._futex_tokens.get(syscall.key, 0)
+                    + syscall.count - woken)
+            return SyscallResult.CONTINUE
+        if isinstance(syscall, sc.Barrier):
+            arrived = self._barriers.setdefault(syscall.key, [])
+            arrived.append(thread)
+            if len(arrived) < syscall.parties:
+                return self._block(thread)
+            # Last arrival: release everyone at this cycle.
+            for waiter in arrived[:-1]:
+                self._wake(waiter, cycle)
+            del self._barriers[syscall.key]
+            return SyscallResult.CONTINUE
+        if isinstance(syscall, sc.Lock):
+            owner = self._lock_owner.get(syscall.key)
+            if owner is None:
+                self._lock_owner[syscall.key] = thread
+                return SyscallResult.CONTINUE
+            self._lock_waiters.setdefault(syscall.key,
+                                          deque()).append(thread)
+            return self._block(thread)
+        if isinstance(syscall, sc.Unlock):
+            if self._lock_owner.get(syscall.key) is not thread:
+                raise RuntimeError("Unlock of lock %r not held by %r"
+                                   % (syscall.key, thread.name))
+            waiters = self._lock_waiters.get(syscall.key)
+            if waiters:
+                successor = waiters.popleft()
+                self._lock_owner[syscall.key] = successor
+                self._wake(successor, cycle)
+            else:
+                del self._lock_owner[syscall.key]
+            return SyscallResult.CONTINUE
+        if isinstance(syscall, sc.Sleep):
+            thread.state = ThreadState.BLOCKED
+            thread.blocked_count += 1
+            self._sleepers.append((cycle + syscall.cycles, thread))
+            return SyscallResult.BLOCKED
+        if isinstance(syscall, sc.Spawn):
+            child = syscall.thread_factory()
+            child.wake_cycle = cycle + self.syscall_overhead
+            self.add_thread(child)
+            return SyscallResult.CONTINUE
+        if isinstance(syscall, sc.ThreadExit):
+            thread.state = ThreadState.DONE
+            return SyscallResult.EXITED
+        if isinstance(syscall, sc.ReadSysFile):
+            content = (self.system_view.open_path(syscall.path)
+                       if self.system_view is not None else None)
+            if syscall.callback is not None:
+                syscall.callback(content)
+            return SyscallResult.CONTINUE
+        if isinstance(syscall, (sc.GetTime, sc.Yield)):
+            return SyscallResult.CONTINUE
+        raise TypeError("Unknown syscall: %r" % (syscall,))
+
+    def thread_done(self, thread):
+        thread.state = ThreadState.DONE
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _block(self, thread):
+        thread.state = ThreadState.BLOCKED
+        thread.blocked_count += 1
+        return SyscallResult.BLOCKED
+
+    def _wake(self, thread, cycle):
+        thread.state = ThreadState.RUNNABLE
+        thread.wake_cycle = cycle + self.syscall_overhead
+        self._run_queue.append(thread)
+
+    def _wake_sleepers(self, cycle):
+        if not self._sleepers:
+            return
+        due = [(c, t) for c, t in self._sleepers if c <= cycle]
+        if due:
+            self._sleepers = [(c, t) for c, t in self._sleepers if c > cycle]
+            for wake_cycle, thread in sorted(due, key=lambda x: x[0]):
+                thread.state = ThreadState.RUNNABLE
+                thread.wake_cycle = wake_cycle
+                self._run_queue.append(thread)

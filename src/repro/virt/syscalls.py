@@ -1,0 +1,111 @@
+"""Syscall descriptors for the virtualized user-level OS interface.
+
+Simulated workloads never enter a real kernel; a SYSCALL instruction's
+:class:`~repro.isa.program.BBLExec` carries one of these descriptors, and
+the scheduler (:mod:`repro.virt.scheduler`) implements its semantics
+against simulated time.  The paper's key distinction is preserved:
+
+* *Blocking* syscalls (futex wait, barriers, contended locks, sleeps)
+  make the thread **leave** the interval barrier so simulation can
+  advance, and **join** again when they return to user code.
+* *Non-blocking* syscalls appear to execute instantaneously.
+"""
+
+from __future__ import annotations
+
+
+class Syscall:
+    """Base class; ``blocking`` says whether the caller may be suspended."""
+
+    blocking = False
+
+    def __repr__(self):
+        fields = ", ".join("%s=%r" % kv for kv in vars(self).items())
+        return "%s(%s)" % (type(self).__name__, fields)
+
+
+class FutexWait(Syscall):
+    """Wait on a futex key (semaphore-flavoured: a stored wake token is
+    consumed immediately, so wake-before-wait is not lost)."""
+
+    blocking = True
+
+    def __init__(self, key):
+        self.key = key
+
+
+class FutexWake(Syscall):
+    """Wake up to ``count`` waiters on ``key``."""
+
+    def __init__(self, key, count=1):
+        self.key = key
+        self.count = count
+
+
+class Barrier(Syscall):
+    """Synchronization barrier: blocks until ``parties`` threads arrive."""
+
+    blocking = True
+
+    def __init__(self, key, parties):
+        self.key = key
+        self.parties = parties
+
+
+class Lock(Syscall):
+    """Acquire a mutex; blocks while another thread owns it."""
+
+    blocking = True
+
+    def __init__(self, key):
+        self.key = key
+
+
+class Unlock(Syscall):
+    """Release a mutex (must be held by the caller)."""
+
+    def __init__(self, key):
+        self.key = key
+
+
+class Sleep(Syscall):
+    """Sleep for ``cycles`` of simulated time (timing virtualization:
+    sleeps are linked to simulated, not host, time)."""
+
+    blocking = True
+
+    def __init__(self, cycles):
+        self.cycles = cycles
+
+
+class Spawn(Syscall):
+    """fork()/exec()/pthread_create stand-in: add a new thread whose
+    functional stream is produced by ``thread_factory()``."""
+
+    def __init__(self, thread_factory):
+        self.thread_factory = thread_factory
+
+
+class ThreadExit(Syscall):
+    """Thread termination."""
+
+    blocking = True  # never returns
+
+
+class ReadSysFile(Syscall):
+    """open()+read() of a /proc or /sys path: redirected to the
+    pre-generated virtual tree (system virtualization).  The content is
+    delivered via ``callback(text_or_None)`` so the functional stream
+    can self-tune to the *simulated* machine."""
+
+    def __init__(self, path, callback=None):
+        self.path = path
+        self.callback = callback
+
+
+class GetTime(Syscall):
+    """clock_gettime / rdtsc-class query; returns simulated time."""
+
+
+class Yield(Syscall):
+    """sched_yield: reschedule without blocking."""

@@ -1,0 +1,114 @@
+"""Tests for the set-associative cache array."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.memory.cache_array import CacheArray
+from repro.memory.coherence import MESI
+
+
+class TestBasics:
+    def test_miss_returns_none(self):
+        array = CacheArray(4, 2)
+        assert array.lookup(0x10) is None
+
+    def test_fill_then_hit(self):
+        array = CacheArray(4, 2)
+        array.fill(0x10, MESI.E)
+        assert array.lookup(0x10) == MESI.E
+
+    def test_update_state(self):
+        array = CacheArray(4, 2)
+        array.fill(0x10, MESI.S)
+        array.update_state(0x10, MESI.M)
+        assert array.lookup(0x10) == MESI.M
+
+    def test_double_fill_raises(self):
+        array = CacheArray(4, 2)
+        array.fill(0x10, MESI.E)
+        with pytest.raises(ValueError):
+            array.fill(0x10, MESI.E)
+
+    def test_invalidate(self):
+        array = CacheArray(4, 2)
+        array.fill(0x10, MESI.M)
+        assert array.invalidate(0x10) == MESI.M
+        assert array.lookup(0x10) is None
+        assert array.invalidate(0x10) is None
+
+    def test_bad_geometry(self):
+        with pytest.raises(ValueError):
+            CacheArray(0, 2)
+
+
+class TestEviction:
+    def test_no_eviction_until_full(self):
+        array = CacheArray(1, 4)
+        for i in range(4):
+            victim, _ = array.fill(i, MESI.E)
+            assert victim is None
+
+    def test_eviction_when_set_full(self):
+        array = CacheArray(1, 2)
+        array.fill(0, MESI.E)
+        array.fill(1, MESI.M)
+        victim, state = array.fill(2, MESI.E)
+        assert victim == 0  # LRU
+        assert state == MESI.E
+
+    def test_eviction_respects_lru_touch(self):
+        array = CacheArray(1, 2)
+        array.fill(0, MESI.E)
+        array.fill(1, MESI.E)
+        array.lookup(0)  # touch 0; 1 becomes LRU
+        victim, _ = array.fill(2, MESI.E)
+        assert victim == 1
+
+    def test_sets_are_independent(self):
+        array = CacheArray(2, 1)
+        array.fill(0, MESI.E)  # set 0
+        victim, _ = array.fill(1, MESI.E)  # set 1
+        assert victim is None
+
+    def test_would_evict_is_pure(self):
+        array = CacheArray(1, 2)
+        array.fill(0, MESI.E)
+        assert array.would_evict(5) is None  # free way remains
+        array.fill(1, MESI.E)
+        candidate = array.would_evict(5)
+        assert candidate == 0
+        # No mutation happened.
+        assert array.lookup(0, touch=False) == MESI.E
+        assert array.would_evict(0) is None  # already present
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(st.tuples(st.integers(0, 63),
+                          st.sampled_from([MESI.S, MESI.E, MESI.M])),
+                min_size=1, max_size=200))
+def test_array_invariants(ops):
+    """Occupancy never exceeds capacity; resident lines are findable;
+    victims are always lines that were resident."""
+    array = CacheArray(4, 2)
+    resident = {}
+    for line, state in ops:
+        if array.lookup(line, touch=False) is not None:
+            array.update_state(line, state)
+            resident[line] = state
+            continue
+        victim, vstate = array.fill(line, state)
+        if victim is not None:
+            assert resident.pop(victim) == vstate
+        resident[line] = state
+        assert array.occupancy() <= 4 * 2
+    assert dict(array.resident_lines()) == resident
+    for line, state in resident.items():
+        assert array.lookup(line, touch=False) == state
+
+
+def test_occupancy_counts():
+    array = CacheArray(2, 2)
+    for line in range(4):
+        array.fill(line, MESI.E)
+    assert array.occupancy() == 4

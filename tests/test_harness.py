@@ -1,0 +1,161 @@
+"""Tests for the experiment harness (validation + performance drivers)."""
+
+import pytest
+
+from repro.config import small_test_system
+from repro.harness import table1
+from repro.harness.performance import (
+    MODEL_SETS,
+    interval_sensitivity,
+    model_grid,
+    native_mips,
+    with_core_model,
+)
+from repro.harness.validation import (
+    mt_validation,
+    spec_validation,
+    speedup_curve,
+    stream_scalability,
+    validate_workload,
+)
+from repro.workloads import mt_workload, spec_workload
+
+
+@pytest.fixture(scope="module")
+def cfg():
+    return small_test_system(num_cores=4, core_model="ooo")
+
+
+class TestTable1:
+    def test_matrix_shape(self):
+        matrix = table1.feature_matrix()
+        assert len(matrix) == 7
+        assert all(set(row) == set(table1.COLUMNS) for row in matrix)
+
+    def test_zsim_row_claims(self):
+        row = table1.zsim_row()
+        assert row["Engine"] == "DBT"
+        assert row["Parallelization"] == "Bound-weave"
+        assert row["Multiprocess apps"] == "Yes"
+        assert row["Full system"] == "No"
+
+    def test_render(self):
+        text = table1.render()
+        assert "Bound-weave" in text
+        assert text.count("\n") >= 9
+
+
+class TestValidation:
+    def test_validate_workload_row(self, cfg):
+        row = validate_workload(cfg, spec_workload("namd", scale=1 / 64),
+                                target_instrs=8_000)
+        for key in ("ipc_zsim", "ipc_real", "perf_error", "tlb_mpki",
+                    "l1d_mpki_real", "l1d_mpki_err", "l3_mpki_err",
+                    "branch_mpki_err"):
+            assert key in row
+        assert row["ipc_zsim"] > 0 and row["ipc_real"] > 0
+
+    def test_spec_validation_sorted(self, cfg):
+        rows = spec_validation(cfg, names=("namd", "mcf", "povray"),
+                               scale=1 / 64, target_instrs=6_000)
+        errors = [abs(r["perf_error"]) for r in rows]
+        assert errors == sorted(errors)
+
+    def test_mt_validation(self, cfg):
+        rows = mt_validation(cfg, names=("blackscholes",), scale=1 / 64,
+                             target_instrs=12_000)
+        assert rows[0]["name"].startswith("blackscholes")
+        assert rows[0]["perf_real"] > 0
+
+    def test_speedup_curve_monotone_for_scalable_workload(self):
+        def factory(n):
+            return small_test_system(num_cores=max(n, 1),
+                                     core_model="simple")
+        points = speedup_curve(factory, "blackscholes", (1, 2, 4),
+                               scale=1 / 64, target_instrs=24_000)
+        threads = [n for n, _s in points]
+        speedups = [s for _n, s in points]
+        assert threads == [1, 2, 4]
+        assert speedups[0] == pytest.approx(1.0)
+        assert speedups[-1] > 1.5
+
+    def test_stream_scalability_models(self):
+        def factory(n):
+            return small_test_system(num_cores=max(n, 1),
+                                     core_model="simple")
+        curves = stream_scalability(factory, (1, 2), scale=1 / 64,
+                                    target_instrs=12_000,
+                                    models=("none", "weave"))
+        assert set(curves) == {"none", "weave", "real"}
+        for points in curves.values():
+            assert points[0] == (1, pytest.approx(1.0))
+
+
+class TestPerformance:
+    def test_native_mips_positive(self):
+        wl = spec_workload("namd", scale=1 / 64)
+        assert native_mips(wl, 5_000) > 0
+
+    def test_model_grid_ordering(self, cfg):
+        """IPC1-NC must be the fastest model set, OOO-C the slowest or
+        close to it (Figure 7 / Table 4 shape)."""
+        wl = mt_workload("blackscholes", scale=1 / 64)
+        rows = model_grid(cfg, wl, target_instrs=20_000)
+        assert set(label for label, _c, _m in MODEL_SETS) <= set(rows)
+        assert rows["IPC1-NC"]["mips"] >= rows["OOO-C"]["mips"]
+        for label, _c, _m in MODEL_SETS:
+            assert rows[label]["slowdown"] > 1.0
+
+    def test_with_core_model(self, cfg):
+        simple = with_core_model(cfg, "simple")
+        assert simple.core.model == "simple"
+        assert cfg.core.model == "ooo"  # original untouched
+
+    def test_interval_sensitivity_small_errors(self, cfg):
+        wl = mt_workload("blackscholes", scale=1 / 64)
+        out = interval_sensitivity(cfg, [wl], target_instrs=20_000,
+                                   intervals=(1_000, 10_000))
+        assert out[1_000]["avg_abs_error"] == 0.0  # baseline vs itself
+        assert out[10_000]["avg_abs_error"] < 0.25
+
+
+class TestPerformanceHarnessSmall:
+    def test_table4_tiny(self, cfg):
+        from repro.harness.performance import table4
+        from repro.workloads import mt_workload
+        workloads = [mt_workload("water", scale=1 / 64, num_threads=4),
+                     mt_workload("stream", scale=1 / 64, num_threads=4)]
+        table, summary = table4(cfg, workloads, target_instrs=8_000,
+                                num_threads=4)
+        assert set(table) == {"water", "stream"}
+        for label in ("IPC1-NC", "OOO-C"):
+            assert summary[label]["hmean_mips"] > 0
+            assert summary[label]["hmean_slowdown"] > 1
+
+    def test_host_scalability_tiny(self, cfg):
+        from repro.harness.performance import host_scalability
+        from repro.workloads import mt_workload
+        wl = mt_workload("water", scale=1 / 64, num_threads=4)
+        curve = host_scalability(cfg, wl, 12_000, num_threads=4,
+                                 host_threads=(1, 4))
+        assert dict(curve)[1] == pytest.approx(1.0)
+        assert dict(curve)[4] >= 1.0
+
+    def test_target_scalability_tiny(self):
+        from repro.config import small_test_system
+        from repro.harness.performance import target_scalability
+        from repro.workloads import mt_workload
+
+        def config_factory(n):
+            return small_test_system(num_cores=n, core_model="simple")
+
+        def workloads_factory(n):
+            return [mt_workload("water", scale=1 / 64, num_threads=n)]
+
+        curves = target_scalability(
+            config_factory, (2, 4), workloads_factory,
+            target_instrs=8_000,
+            model_sets=(("IPC1-NC", "simple", "none"),))
+        points = dict(curves["IPC1-NC"])
+        assert set(points) == {2, 4}
+        assert all(v > 0 for v in points.values())

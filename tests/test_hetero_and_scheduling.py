@@ -1,0 +1,200 @@
+"""Tests for heterogeneous chips, home-core scheduling, and the bound
+phase's second-chance (mid-interval wakeup) behaviour."""
+
+import dataclasses
+
+from repro.config import CoreConfig, small_test_system
+from repro.core import ZSim
+from repro.cpu import OOOCore, SimpleCore
+from repro.dbt.instrumentation import InstrumentedStream
+from repro.isa.opcodes import Opcode
+from repro.isa.program import BBLExec, Instruction, Program
+from repro.isa.registers import gp
+from repro.virt.process import SimThread
+from repro.virt.scheduler import Scheduler
+from repro.virt.syscalls import Barrier, FutexWait, FutexWake
+from repro.workloads.base import KernelSpec, Workload
+
+
+class TestHeterogeneousCores:
+    def test_mixed_core_models_instantiated(self):
+        cfg = small_test_system(num_cores=4, core_model="simple")
+        cfg = dataclasses.replace(
+            cfg, hetero_cores={0: CoreConfig(model="ooo"),
+                               1: CoreConfig(model="ooo")})
+        sim = ZSim(cfg)
+        assert isinstance(sim.cores[0], OOOCore)
+        assert isinstance(sim.cores[1], OOOCore)
+        assert isinstance(sim.cores[2], SimpleCore)
+        assert isinstance(sim.cores[3], SimpleCore)
+
+    def test_big_cores_run_faster(self):
+        cfg = small_test_system(num_cores=2, core_model="simple")
+        cfg = dataclasses.replace(
+            cfg, hetero_cores={0: CoreConfig(model="ooo")})
+        spec = KernelSpec(name="het", footprint_kb=16, mem_ratio=0.2,
+                          hot_fraction=0.9, barrier_iters=0, ilp=6,
+                          seed=3)
+        threads = Workload(spec, 2).make_threads(target_instrs=40_000,
+                                                 num_threads=2)
+        threads[0].affinity = {0}
+        threads[1].affinity = {1}
+        sim = ZSim(cfg, threads=threads)
+        sim.run()
+        assert sim.cores[0].ipc > 1.3 * sim.cores[1].ipc
+
+    def test_mlp_window_follows_core_model(self):
+        cfg = small_test_system(num_cores=2, core_model="simple")
+        cfg = dataclasses.replace(
+            cfg, hetero_cores={0: CoreConfig(model="ooo")})
+        sim = ZSim(cfg)
+        assert sim.weave.mlp_window[0] == \
+            cfg.boundweave.ooo_mlp_window
+        assert sim.weave.mlp_window[1] == 1
+
+
+class TestHomeCores:
+    def test_threads_spread_across_cores(self):
+        sched = Scheduler(num_cores=4)
+        threads = [SimThread(iter(()), name="t%d" % i) for i in range(8)]
+        for t in threads:
+            sched.add_thread(t)
+        homes = [t.home_core for t in threads]
+        assert sorted(homes) == [0, 0, 1, 1, 2, 2, 3, 3]
+
+    def test_home_respects_affinity(self):
+        sched = Scheduler(num_cores=4)
+        t = SimThread(iter(()), affinity={2, 3})
+        sched.add_thread(t)
+        assert t.home_core in (2, 3)
+
+    def test_empty_affinity_rejected(self):
+        import pytest
+        sched = Scheduler(num_cores=2)
+        t = SimThread(iter(()), affinity={5})
+        with pytest.raises(ValueError):
+            sched.add_thread(t)
+
+    def test_no_steal_from_free_home(self):
+        """A thread whose home core is free is not stolen by others."""
+        sched = Scheduler(num_cores=2)
+        a = SimThread(iter(()), name="a")
+        b = SimThread(iter(()), name="b")
+        sched.add_thread(a)  # home 0
+        sched.add_thread(b)  # home 1
+        assert sched.pick_thread(0, 0) is a
+        sched.deschedule(0)
+        # Core 0 asks again: b's home core 1 is free, so no steal.
+        assert sched.pick_thread(0, 100) is None
+
+    def test_steal_when_home_busy(self):
+        sched = Scheduler(num_cores=2)
+        a = SimThread(iter(()), name="a")
+        b = SimThread(iter(()), name="b")
+        c = SimThread(iter(()), name="c")
+        sched.add_thread(a)  # home 0
+        sched.add_thread(b)  # home 1
+        sched.add_thread(c)  # home 0 (least loaded tie -> 0)
+        assert sched.pick_thread(0, 0) is a   # core 0 busy with a
+        assert sched.pick_thread(1, 0) is b   # core 1 busy with b
+        sched.deschedule(1)                   # b left core 1
+        # c's home (0) is busy running a -> free core 1 steals c.
+        assert sched.pick_thread(1, 0) is c
+
+
+class TestSecondChance:
+    def _program(self):
+        program = Program("sc")
+        work = program.add_block(
+            [Instruction(Opcode.ALU, gp(1), gp(2), gp(1))] * 8)
+        sysb = program.add_block([Instruction(Opcode.SYSCALL)])
+        return work, sysb
+
+    def test_mid_interval_wakeup_resumes_same_interval(self):
+        """With a huge interval, a futex waiter woken early in the
+        interval still finishes inside it (the join/leave property)."""
+        work, sysb = self._program()
+
+        def waiter():
+            yield BBLExec(sysb, (), syscall=FutexWait("k"))
+            for _ in range(10):
+                yield BBLExec(work)
+
+        def waker():
+            for _ in range(5):
+                yield BBLExec(work)
+            yield BBLExec(sysb, (), syscall=FutexWake("k"))
+            for _ in range(5):
+                yield BBLExec(work)
+
+        cfg = small_test_system(num_cores=2, core_model="simple",
+                                interval_cycles=100_000)
+        sim = ZSim(cfg, threads=[
+            SimThread(InstrumentedStream(waiter()), name="waiter"),
+            SimThread(InstrumentedStream(waker()), name="waker")])
+        res = sim.run()
+        # Everything finishes in a couple of intervals, at cycles far
+        # below the interval length.
+        assert res.intervals <= 2
+        assert res.cycles < 5_000
+
+    def test_barrier_releases_within_interval(self):
+        work, sysb = self._program()
+
+        def party(tid):
+            for _ in range(3 + tid):
+                yield BBLExec(work)
+            yield BBLExec(sysb, (), syscall=Barrier("b", 3))
+            for _ in range(5):
+                yield BBLExec(work)
+
+        cfg = small_test_system(num_cores=3, core_model="simple",
+                                interval_cycles=50_000)
+        sim = ZSim(cfg, threads=[
+            SimThread(InstrumentedStream(party(t)), name="p%d" % t)
+            for t in range(3)])
+        res = sim.run()
+        assert res.intervals <= 2
+        assert res.cycles < 3_000
+
+    def test_idle_cores_do_not_pad_cycles(self):
+        """Cores that never run stay at cycle 0 (no idle padding)."""
+        work, _sysb = self._program()
+
+        def stream():
+            for _ in range(20):
+                yield BBLExec(work)
+
+        cfg = small_test_system(num_cores=4, core_model="simple")
+        sim = ZSim(cfg, threads=[
+            SimThread(InstrumentedStream(stream()), name="only")])
+        sim.run()
+        idle_cycles = [c.cycle for c in sim.cores if c.instrs == 0]
+        assert idle_cycles == [0, 0, 0]
+
+
+class TestResume:
+    def test_run_can_be_resumed(self, tiny_config):
+        spec = KernelSpec(name="resume", barrier_iters=0, seed=2)
+        threads = Workload(spec, 2).make_threads(target_instrs=30_000,
+                                                 num_threads=2)
+        sim = ZSim(tiny_config, threads=threads)
+        first = sim.run(max_instrs=10_000)
+        assert not sim.scheduler.all_done
+        second = sim.run()
+        assert sim.scheduler.all_done
+        assert second.instrs > first.instrs
+        assert second.cycles >= first.cycles
+
+    def test_resumed_run_matches_single_run(self, tiny_config):
+        def run(split):
+            spec = KernelSpec(name="resume2", barrier_iters=0, seed=2)
+            threads = Workload(spec, 2).make_threads(
+                target_instrs=30_000, num_threads=2)
+            sim = ZSim(tiny_config, threads=threads)
+            if split:
+                sim.run(max_instrs=10_000)
+            return sim.run().cycles
+        # Interval boundaries shift slightly on resume; results agree
+        # closely but not bit-exactly.
+        assert abs(run(True) - run(False)) < 0.02 * run(False)

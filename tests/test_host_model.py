@@ -1,0 +1,80 @@
+"""Tests for the host-parallelism model (Figure 8 machinery)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.host import HostModel, makespan
+
+
+class TestMakespan:
+    def test_empty(self):
+        assert makespan([], 4) == 0.0
+
+    def test_single_worker_is_sum(self):
+        assert makespan([1.0, 2.0, 3.0], 1) == 6.0
+
+    def test_enough_workers_is_max_when_equal(self):
+        assert makespan([2.0, 2.0, 2.0], 3) == 2.0
+
+    def test_wake_order_greedy(self):
+        # Two workers, items in wake order: [3, 1, 1, 1].
+        # w1 gets 3; w2 gets 1,1,1 -> makespan 3.
+        assert makespan([3.0, 1.0, 1.0, 1.0], 2) == 3.0
+
+    def test_more_workers_never_slower(self):
+        items = [0.5, 1.5, 0.25, 2.0, 1.0]
+        times = [makespan(items, h) for h in (1, 2, 4, 8)]
+        assert times == sorted(times, reverse=True)
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(st.floats(0.001, 10.0), min_size=1, max_size=30),
+           st.integers(1, 16))
+    def test_bounds(self, items, workers):
+        span = makespan(items, workers)
+        assert span >= max(items) - 1e-9
+        assert span <= sum(items) + 1e-9
+        assert span >= sum(items) / workers - 1e-9
+
+
+class TestHostModel:
+    def model_with_data(self, intervals=10, cores=8):
+        model = HostModel(host_threads=(1, 2, 4, 8))
+        for i in range(intervals):
+            bound = [(c, 0.01 + 0.001 * ((i + c) % 3))
+                     for c in range(cores)]
+            model.record_interval(bound, [100, 80, 60, 40], 0.05)
+        return model
+
+    def test_speedup_one_thread_is_one(self):
+        model = self.model_with_data()
+        assert model.speedup(1) == pytest.approx(1.0)
+
+    def test_speedup_monotone(self):
+        model = self.model_with_data()
+        curve = [s for _h, s in model.speedup_curve()]
+        assert all(b >= a - 1e-9 for a, b in zip(curve, curve[1:]))
+
+    def test_speedup_bounded_by_thread_count(self):
+        model = self.model_with_data()
+        for h, s in model.speedup_curve():
+            assert s <= h + 1e-9
+
+    def test_untracked_thread_count_raises(self):
+        model = self.model_with_data()
+        with pytest.raises(KeyError):
+            model.parallel_time(3)
+
+    def test_weave_serial_fraction_limits_speedup(self):
+        """A heavy single-domain weave phase caps speedup (Amdahl)."""
+        model = HostModel(host_threads=(1, 16))
+        for _ in range(5):
+            model.record_interval([(c, 0.01) for c in range(16)],
+                                  [1000], 1.0)  # one domain: serial
+        # Weave (serial) ~1s vs bound 0.16s: speedup well under 2.
+        assert model.speedup(16) < 2.0
+
+    def test_no_weave_data(self):
+        model = HostModel(host_threads=(1, 4))
+        model.record_interval([(0, 0.1), (1, 0.1)], [], 0.0)
+        assert model.speedup(4) > 1.0

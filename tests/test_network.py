@@ -1,0 +1,67 @@
+"""Tests for the zero-load NoC model."""
+
+import pytest
+
+from repro.config.system import NetworkConfig
+from repro.memory.network import Network
+
+
+def net(topology, tiles, **kwargs):
+    return Network(NetworkConfig(topology=topology, **kwargs), tiles)
+
+
+class TestRing:
+    def test_same_tile_zero_hops(self):
+        assert net("ring", 8).hops(3, 3) == 0
+
+    def test_shortest_direction(self):
+        ring = net("ring", 8)
+        assert ring.hops(0, 1) == 1
+        assert ring.hops(0, 7) == 1  # wraps around
+        assert ring.hops(0, 4) == 4  # either way
+
+    def test_latency_formula(self):
+        ring = net("ring", 8, hop_latency=1, injection_latency=5)
+        assert ring.latency(0, 2) == 5 + 2
+        assert ring.latency(0, 0) == 5
+
+    def test_symmetry(self):
+        ring = net("ring", 6)
+        for a in range(6):
+            for b in range(6):
+                assert ring.hops(a, b) == ring.hops(b, a)
+
+
+class TestMesh:
+    def test_manhattan_distance(self):
+        mesh = net("mesh", 16)  # 4x4
+        assert mesh.hops(0, 3) == 3    # same row
+        assert mesh.hops(0, 12) == 3   # same column
+        assert mesh.hops(0, 15) == 6   # opposite corner
+
+    def test_router_stages_charged_per_hop(self):
+        mesh = net("mesh", 16, hop_latency=1, router_stages=2,
+                   injection_latency=5)
+        assert mesh.latency(0, 1) == 5 + 1 * (1 + 2)
+        assert mesh.latency(0, 15) == 5 + 6 * (1 + 2)
+
+    def test_non_square_tile_count(self):
+        mesh = net("mesh", 6)  # 3-wide grid
+        assert mesh.hops(0, 5) == mesh.hops(5, 0) > 0
+
+
+class TestIdeal:
+    def test_zero_hops_everywhere(self):
+        ideal = net("ideal", 64, injection_latency=5)
+        assert ideal.hops(0, 63) == 0
+        assert ideal.latency(0, 63) == 5
+
+
+def test_unknown_topology_rejected():
+    with pytest.raises(ValueError):
+        net("torus", 8)
+
+
+def test_round_trip_is_double():
+    ring = net("ring", 8)
+    assert ring.round_trip(0, 3) == 2 * ring.latency(0, 3)

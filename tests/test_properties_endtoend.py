@@ -1,0 +1,99 @@
+"""End-to-end property tests: simulator invariants over random
+workload parameterizations (hypothesis-driven)."""
+
+import dataclasses
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import small_test_system
+from repro.core import ZSim
+from repro.workloads.base import KernelSpec, Workload
+
+spec_strategy = st.builds(
+    KernelSpec,
+    name=st.just("prop"),
+    footprint_kb=st.sampled_from([16, 64, 256]),
+    mem_ratio=st.floats(0.1, 0.5),
+    write_ratio=st.floats(0.0, 0.6),
+    pattern=st.sampled_from(["stream", "stride", "random", "chase"]),
+    hot_fraction=st.floats(0.0, 0.9),
+    fp_ratio=st.floats(0.0, 0.6),
+    branch_rand=st.floats(0.0, 0.3),
+    ilp=st.integers(1, 8),
+    code_blocks=st.integers(1, 8),
+    shared_fraction=st.floats(0.0, 0.6),
+    shared_kb=st.sampled_from([16, 64]),
+    lock_iters=st.sampled_from([0, 120]),
+    barrier_iters=st.sampled_from([0, 400]),
+    imbalance=st.floats(0.0, 0.3),
+    seq_fraction=st.sampled_from([0.0, 0.1]),
+    seed=st.integers(1, 10_000),
+)
+
+
+def run(spec, core_model, contention, threads=2, instrs=6_000):
+    cfg = small_test_system(num_cores=threads, core_model=core_model)
+    workload = Workload(spec, threads)
+    sim = ZSim(cfg, workload.make_threads(target_instrs=instrs,
+                                          num_threads=threads),
+               contention_model=contention)
+    result = sim.run(max_intervals=400)
+    return result, sim
+
+
+@settings(max_examples=12, deadline=None)
+@given(spec_strategy, st.sampled_from(["simple", "ooo"]))
+def test_invariants_hold_for_any_workload(spec, core_model):
+    """For any parameterization: the run completes, work is conserved,
+    coherence/inclusion hold, and all counters are sane."""
+    result, sim = run(spec, core_model, "weave")
+    assert result.instrs > 0
+    assert result.cycles > 0
+    assert 0.0 < result.ipc < 8.0
+    assert sim.hierarchy.check_coherence() == []
+    assert sim.hierarchy.check_inclusion() == []
+    for core in sim.cores:
+        assert core.cycle >= 0
+        assert core.l1d_misses <= core.loads + core.stores
+    # Miss counts can only shrink up the hierarchy.
+    total = result.instrs
+    assert result.core_mpki("l3") <= result.core_mpki("l2") + 1e-9
+    assert result.core_mpki("l2") <= result.core_mpki("l1d") \
+        + result.core_mpki("l1i") + 1e-9
+
+
+@settings(max_examples=8, deadline=None)
+@given(spec_strategy)
+def test_contention_is_conservative(spec):
+    """Weave contention never makes a workload finish earlier than the
+    no-contention bound (per-run, same functional stream)."""
+    nc, _ = run(spec, "simple", "none")
+    wc, _ = run(spec, "simple", "weave")
+    assert wc.cycles >= nc.cycles * 0.999
+    assert wc.instrs == nc.instrs
+
+
+@settings(max_examples=8, deadline=None)
+@given(spec_strategy, st.integers(0, 3))
+def test_determinism_for_any_seed(spec, bw_seed):
+    """Same spec + same engine seed -> bit-identical results."""
+    def once():
+        cfg = small_test_system(num_cores=2, core_model="simple")
+        cfg = dataclasses.replace(cfg, boundweave=dataclasses.replace(
+            cfg.boundweave, seed=bw_seed))
+        workload = Workload(spec, 2)
+        sim = ZSim(cfg, workload.make_threads(target_instrs=5_000,
+                                              num_threads=2))
+        res = sim.run(max_intervals=300)
+        return (res.cycles, res.instrs, res.core_mpki("l1d"))
+    assert once() == once()
+
+
+@settings(max_examples=8, deadline=None)
+@given(spec_strategy)
+def test_weave_delays_nonnegative(spec):
+    """Feedback delays are always >= 0 (total delay sanity)."""
+    result, sim = run(spec, "ooo", "weave")
+    assert result.weave_stats.total_delay >= 0
+    assert result.weave_stats.events >= 0

@@ -1,0 +1,102 @@
+"""Tests for replacement policies."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.memory.replacement import (
+    LRU,
+    RandomRepl,
+    TreePLRU,
+    make_policy,
+)
+
+
+class TestLRU:
+    def test_initial_victim_is_way_zero(self):
+        assert LRU(4).victim() == 0
+
+    def test_victim_is_least_recent(self):
+        lru = LRU(4)
+        for way in (0, 1, 2, 3):
+            lru.touch(way)
+        assert lru.victim() == 0
+        lru.touch(0)
+        assert lru.victim() == 1
+
+    def test_touch_reorders(self):
+        lru = LRU(3)
+        lru.touch(0)
+        lru.touch(1)
+        lru.touch(2)
+        lru.touch(0)  # 1 is now LRU
+        assert lru.victim() == 1
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(st.integers(0, 7), min_size=1, max_size=60))
+    def test_victim_matches_reference_model(self, touches):
+        """The victim is always the way touched least recently."""
+        lru = LRU(8)
+        order = list(range(8))
+        for way in touches:
+            lru.touch(way)
+            order.remove(way)
+            order.append(way)
+        assert lru.victim() == order[0]
+
+
+class TestTreePLRU:
+    def test_requires_power_of_two(self):
+        with pytest.raises(ValueError):
+            TreePLRU(6)
+
+    def test_victim_in_range(self):
+        plru = TreePLRU(8)
+        assert 0 <= plru.victim() < 8
+
+    def test_never_evicts_just_touched(self):
+        plru = TreePLRU(8)
+        for way in range(8):
+            plru.touch(way)
+            assert plru.victim() != way
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(st.integers(0, 3), min_size=1, max_size=40))
+    def test_victim_always_valid(self, touches):
+        plru = TreePLRU(4)
+        for way in touches:
+            plru.touch(way)
+            victim = plru.victim()
+            assert 0 <= victim < 4
+            assert victim != way
+
+    def test_two_way_behaves_like_lru(self):
+        plru, lru = TreePLRU(2), LRU(2)
+        for way in (0, 1, 0, 0, 1):
+            plru.touch(way)
+            lru.touch(way)
+            assert plru.victim() == lru.victim()
+
+
+class TestRandom:
+    def test_deterministic_for_seed(self):
+        a = RandomRepl(8, seed=42)
+        b = RandomRepl(8, seed=42)
+        assert [a.victim() for _ in range(10)] == \
+            [b.victim() for _ in range(10)]
+
+    def test_in_range(self):
+        policy = RandomRepl(4, seed=1)
+        assert all(0 <= policy.victim() < 4 for _ in range(50))
+
+
+class TestFactory:
+    @pytest.mark.parametrize("name,cls", [("lru", LRU),
+                                          ("tree", TreePLRU),
+                                          ("random", RandomRepl)])
+    def test_make_policy(self, name, cls):
+        assert isinstance(make_policy(name, 4), cls)
+
+    def test_unknown_name(self):
+        with pytest.raises(ValueError):
+            make_policy("clock", 4)

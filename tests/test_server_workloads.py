@@ -1,0 +1,94 @@
+"""Tests for the client-server and managed-runtime workload builders."""
+
+import pytest
+
+from repro.config import small_test_system, westmere
+from repro.core import ZSim
+from repro.virt.process import ThreadState
+from repro.virt.timing import VirtualClock
+from repro.workloads.server import (
+    RequestLog,
+    client_server_threads,
+    managed_runtime_threads,
+)
+
+
+class TestClientServer:
+    def run(self, num_clients=2, requests=6, cores=4):
+        cfg = westmere(num_cores=cores, core_model="simple")
+        sim = ZSim(cfg)
+        log = RequestLog()
+        for thread in client_server_threads(num_clients=num_clients,
+                                            requests_per_client=requests,
+                                            request_log=log, sim=sim):
+            sim.add_thread(thread)
+        result = sim.run()
+        return cfg, sim, result, log
+
+    def test_all_requests_served(self):
+        _cfg, sim, _res, log = self.run(num_clients=2, requests=6)
+        assert len(log.requests) == 12
+        assert sim.scheduler.all_done
+
+    def test_latencies_positive_and_bounded(self):
+        _cfg, _sim, res, log = self.run()
+        latencies = log.latencies()
+        assert all(lat >= 0 for lat in latencies)
+        assert max(latencies) < res.cycles
+
+    def test_no_timeouts_under_simulated_time(self):
+        """The paper's motivation: with virtualized timing, protocol
+        timeouts evaluate against simulated time and do not fire."""
+        cfg, _sim, _res, log = self.run()
+        clock = VirtualClock(cfg.core.freq_mhz)
+        assert log.timeouts(clock, timeout_ns=500_000) == 0
+
+    def test_tight_timeout_does_fire(self):
+        """Sanity: an absurdly tight budget is detected as expired."""
+        cfg, _sim, _res, log = self.run()
+        clock = VirtualClock(cfg.core.freq_mhz)
+        assert log.timeouts(clock, timeout_ns=1) > 0
+
+    def test_one_process_per_party(self):
+        cfg = westmere(num_cores=4, core_model="simple")
+        threads = client_server_threads(num_clients=3)
+        names = {t.process.name for t in threads}
+        assert names == {"server", "client-0", "client-1", "client-2"}
+
+
+class TestManagedRuntime:
+    def test_more_threads_than_cores(self):
+        cfg = small_test_system(num_cores=4, core_model="simple")
+        threads = managed_runtime_threads(cfg, phases=2,
+                                          iters_per_phase=60)
+        assert len(threads) == cfg.num_cores + 2  # workers + GC
+        sim = ZSim(cfg, threads=threads)
+        sim.run()
+        assert sim.scheduler.all_done
+        assert sim.scheduler.context_switches > len(threads)
+
+    def test_gc_threads_sleep_on_simulated_time(self):
+        cfg = small_test_system(num_cores=2, core_model="simple")
+        threads = managed_runtime_threads(cfg, phases=2,
+                                          iters_per_phase=40,
+                                          gc_sleep_cycles=50_000)
+        sim = ZSim(cfg, threads=threads)
+        res = sim.run()
+        # The run must span at least the GC sleep periods.
+        assert res.cycles >= 2 * 50_000
+        gc = [t for t in sim.scheduler.threads
+              if t.name.startswith("gc-")]
+        assert all(t.state == ThreadState.DONE for t in gc)
+
+    def test_workers_share_barrier_phases(self):
+        cfg = small_test_system(num_cores=3, core_model="simple")
+        threads = managed_runtime_threads(cfg, phases=3,
+                                          iters_per_phase=30,
+                                          gc_threads=0)
+        sim = ZSim(cfg, threads=threads)
+        sim.run()
+        assert sim.scheduler.all_done
+        # Workers finish within a few intervals of each other
+        # (barrier-synchronized).
+        cycles = [c.cycle for c in sim.cores if c.instrs > 0]
+        assert max(cycles) - min(cycles) < 5_000

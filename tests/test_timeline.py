@@ -1,0 +1,99 @@
+"""Tests for busy-interval timelines (weave resource occupancy)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.memory.timeline import MultiTimeline, Timeline
+
+
+class TestTimeline:
+    def test_empty_grants_immediately(self):
+        assert Timeline().reserve(100, 10) == 100
+
+    def test_zero_duration(self):
+        assert Timeline().reserve(100, 0) == 100
+
+    def test_back_to_back_serialize(self):
+        t = Timeline()
+        assert t.reserve(100, 10) == 100
+        assert t.reserve(100, 10) == 110
+
+    def test_hole_filling_for_stragglers(self):
+        """The property that fixes the delay ratchet: a request arriving
+        'in the past' can use a hole the resource still had."""
+        t = Timeline()
+        t.reserve(1000, 10)
+        assert t.reserve(100, 10) == 100  # past hole still usable
+
+    def test_hole_between_reservations(self):
+        t = Timeline()
+        t.reserve(100, 10)   # [100, 110)
+        t.reserve(200, 10)   # [200, 210)
+        assert t.reserve(100, 10) == 110   # fits in the gap
+        assert t.reserve(100, 95) == 210   # too big for any gap
+
+    def test_partial_overlap_pushes_forward(self):
+        t = Timeline()
+        t.reserve(100, 20)   # [100, 120)
+        assert t.reserve(110, 5) == 120
+
+    def test_merging_keeps_list_compact(self):
+        t = Timeline()
+        for i in range(100):
+            t.reserve(i * 10, 10)  # all contiguous
+        assert len(t) == 1
+
+    def test_busy_at(self):
+        t = Timeline()
+        t.reserve(100, 10)
+        assert t.busy_at(105)
+        assert not t.busy_at(99)
+        assert not t.busy_at(110)  # end-exclusive
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.lists(st.tuples(st.integers(0, 5000), st.integers(1, 50)),
+                    min_size=1, max_size=80))
+    def test_no_double_booking(self, requests):
+        """Reservations never overlap and never start early."""
+        t = Timeline()
+        granted = []
+        for earliest, duration in requests:
+            start = t.reserve(earliest, duration)
+            assert start >= earliest
+            granted.append((start, start + duration))
+        granted.sort()
+        for (s1, e1), (s2, e2) in zip(granted, granted[1:]):
+            assert e1 <= s2
+
+
+class TestMultiTimeline:
+    def test_parallel_servers(self):
+        mt = MultiTimeline(2)
+        assert mt.reserve(100, 10) == 100
+        assert mt.reserve(100, 10) == 100  # second server
+        assert mt.reserve(100, 10) == 110  # both busy now
+
+    def test_single_server_degenerates(self):
+        mt = MultiTimeline(1)
+        assert mt.reserve(0, 5) == 0
+        assert mt.reserve(0, 5) == 5
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.integers(1, 4),
+           st.lists(st.tuples(st.integers(0, 1000), st.integers(1, 20)),
+                    min_size=1, max_size=60))
+    def test_capacity_respected(self, servers, requests):
+        """At any cycle, at most ``servers`` reservations are active."""
+        mt = MultiTimeline(servers)
+        active = []
+        for earliest, duration in requests:
+            start = mt.reserve(earliest, duration)
+            assert start >= earliest
+            active.append((start, start + duration))
+        events = sorted([(s, 1) for s, _e in active]
+                        + [(e, -1) for _s, e in active])
+        load = peak = 0
+        for _cycle, delta in events:
+            load += delta
+            peak = max(peak, load)
+        assert peak <= servers
