@@ -57,13 +57,46 @@ def _resolve_workload(name, scale, num_threads):
                      % name)
 
 
+def _make_telemetry(args):
+    """Build the observability context (or None) from run flags."""
+    want_trace = bool(args.trace_out or args.trace_timeline)
+    want_metrics = bool(args.metrics_out or args.metrics_csv)
+    if not want_trace and not want_metrics:
+        return None
+    from repro.obs import Telemetry
+    return Telemetry(trace=want_trace, metrics=want_metrics)
+
+
+def _write_telemetry(args, telemetry):
+    if telemetry is None:
+        return
+    if args.trace_out:
+        telemetry.write_trace(args.trace_out)
+        print("trace written to %s (load in chrome://tracing)"
+              % args.trace_out)
+    if args.trace_timeline:
+        print(telemetry.tracer.text_timeline())
+    if args.metrics_out:
+        telemetry.write_metrics(args.metrics_out)
+        print("metrics written to %s" % args.metrics_out)
+    if args.metrics_csv:
+        with open(args.metrics_csv, "w") as handle:
+            handle.write(telemetry.metrics.samples_csv())
+        print("interval samples written to %s" % args.metrics_csv)
+
+
 def cmd_run(args):
+    if args.log_level:
+        from repro.obs import configure_logging
+        configure_logging(args.log_level)
     config = _resolve_config(args)
     workload = _resolve_workload(args.workload, args.scale, args.threads)
     threads = workload.make_threads(
         target_instrs=args.instrs,
         num_threads=args.threads or workload.num_threads)
-    sim = ZSim(config, threads=threads, contention_model=args.contention)
+    telemetry = _make_telemetry(args)
+    sim = ZSim(config, threads=threads, contention_model=args.contention,
+               telemetry=telemetry)
     result = sim.run()
     print("workload %s on %s (%d cores, %s, %s contention)"
           % (workload.name, config.name, config.num_cores,
@@ -79,6 +112,7 @@ def cmd_run(args):
         with open(args.stats_out, "w") as handle:
             handle.write(result.stats().to_json(indent=2))
         print("stats written to %s" % args.stats_out)
+    _write_telemetry(args, telemetry)
     return 0
 
 
@@ -176,7 +210,8 @@ def build_parser():
     sub = parser.add_subparsers(dest="command", required=True)
 
     def add_common(p):
-        p.add_argument("--config", default="westmere",
+        p.add_argument("--config", "--preset", dest="config",
+                       default="westmere",
                        help="preset (%s) or JSON config path"
                        % "/".join(PRESETS))
         p.add_argument("--cores", type=int, default=None)
@@ -192,8 +227,24 @@ def build_parser():
     add_common(run)
     run.add_argument("--contention", choices=CONTENTION_MODELS,
                      default="weave")
-    run.add_argument("--stats-out", default=None,
-                     help="write the stats tree as JSON")
+    run.add_argument("--stats-json", "--stats-out", dest="stats_out",
+                     default=None,
+                     help="write the stats tree (incl. host speedup "
+                          "curves, weave stats, latency histograms) "
+                          "as JSON")
+    run.add_argument("--trace-out", default=None,
+                     help="write a Chrome trace-event JSON "
+                          "(chrome://tracing / Perfetto)")
+    run.add_argument("--trace-timeline", action="store_true",
+                     help="print a compact text timeline after the run")
+    run.add_argument("--metrics-out", default=None,
+                     help="write the metrics registry (counters, "
+                          "histograms, per-interval samples) as JSON")
+    run.add_argument("--metrics-csv", default=None,
+                     help="write the per-interval sample table as CSV")
+    run.add_argument("--log-level", default=None,
+                     choices=("debug", "info", "warning", "error"),
+                     help="enable structured logging at this level")
     run.set_defaults(func=cmd_run)
 
     val = sub.add_parser("validate",

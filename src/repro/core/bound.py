@@ -23,6 +23,7 @@ import random
 import time
 
 from repro.cpu.base import RunOutcome
+from repro.obs.tracer import TID_CORE
 from repro.virt.scheduler import SyscallResult
 from repro.virt.syscalls import GetTime, Syscall
 
@@ -30,7 +31,8 @@ from repro.virt.syscalls import GetTime, Syscall
 class BoundPhase:
     """Drives all cores through one interval at a time."""
 
-    def __init__(self, cores, scheduler, shuffle=True, seed=0):
+    def __init__(self, cores, scheduler, shuffle=True, seed=0,
+                 telemetry=None):
         self.cores = cores
         self.scheduler = scheduler
         self.shuffle = shuffle
@@ -38,6 +40,21 @@ class BoundPhase:
         self._order = list(range(len(cores)))
         self.intervals = 0
         self.syscalls = 0
+        self._telem = telemetry
+
+    def attach_telemetry(self, telemetry):
+        self._telem = telemetry
+
+    def _trace_core_run(self, core_id, start_s, end_s):
+        """Emit one bound-phase per-core span (telemetry attached only)."""
+        telem = self._telem
+        if telem.tracer is not None:
+            telem.tracer.complete_raw(
+                "core%d" % core_id, "bound", start_s, end_s,
+                TID_CORE + core_id, {"interval": self.intervals})
+        if telem.metrics is not None:
+            telem.metrics.histogram("bound.core_run_us").record(
+                int((end_s - start_s) * 1e6))
 
     def run_interval(self, limit_cycle):
         """Simulate every core up to ``limit_cycle``.  Returns the list of
@@ -51,6 +68,7 @@ class BoundPhase:
         interval skip to the limit.
         """
         self.intervals += 1
+        telem = self._telem
         order = self._order
         if self.shuffle:
             self.rng.shuffle(order)
@@ -61,7 +79,10 @@ class BoundPhase:
             core = self.cores[core_id]
             if not self._run_core(core, limit_cycle):
                 idle.append(core)
-            timings.append((core_id, time.perf_counter() - start))
+            end = time.perf_counter()
+            timings.append((core_id, end - start))
+            if telem is not None:
+                self._trace_core_run(core_id, start, end)
         # Second-chance passes: drain threads that became runnable
         # during this interval onto the idle cores.
         while idle:
@@ -72,8 +93,10 @@ class BoundPhase:
             for core in idle:
                 start = time.perf_counter()
                 ran = self._run_core(core, limit_cycle)
-                timings.append((core.core_id,
-                                time.perf_counter() - start))
+                end = time.perf_counter()
+                timings.append((core.core_id, end - start))
+                if telem is not None:
+                    self._trace_core_run(core.core_id, start, end)
                 if ran:
                     progress = True
                 else:

@@ -105,3 +105,16 @@ class HostModel:
         if par <= 0:
             return 1.0
         return self.serial_time() / par
+
+    def fill_stats(self, node):
+        """Dump the measured phase costs and modeled speedup curves into
+        a :class:`~repro.stats.StatsNode` (Figure 8's raw material)."""
+        node.set("intervals", self.intervals)
+        node.set("bound_serial_seconds", self.bound_serial)
+        node.set("weave_serial_seconds", self.weave_serial)
+        node.set("other_serial_seconds", self.other_serial)
+        speedup = node.child("speedup")
+        pipelined = node.child("pipelined_speedup")
+        for h in self.host_threads:
+            speedup.set("x%d" % h, self.speedup(h))
+            pipelined.set("x%d" % h, self.pipelined_speedup(h))

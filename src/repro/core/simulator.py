@@ -21,12 +21,16 @@ from repro.cpu import make_core
 from repro.memory.contention import MD1Model
 from repro.memory.dramsim import DRAMSimWeave
 from repro.memory.hierarchy import MemoryHierarchy
+from repro.obs.log import get_logger
+from repro.obs.tracer import TID_MAIN
 from repro.stats.counters import StatsNode
 from repro.virt.process import SimThread
 from repro.virt.scheduler import Scheduler
 from repro.virt.sysview import SystemView
 
 CONTENTION_MODELS = ("none", "md1", "weave", "dramsim")
+
+_log = get_logger("core.simulator")
 
 
 class _MD1Memory:
@@ -121,6 +125,15 @@ class SimulationResult:
         for core in self.cores:
             core.fill_stats(root.child("core%d" % core.core_id))
         self.hierarchy.fill_stats(root.child("mem"))
+        self.host_model.fill_stats(root.child("host"))
+        if self.weave_stats is not None:
+            weave = root.child("weave")
+            weave.set("intervals", self.weave_stats.intervals)
+            weave.set("events", self.weave_stats.events)
+            weave.set("crossings", self.weave_stats.crossings)
+            weave.set("crossing_requeues",
+                      self.weave_stats.crossing_requeues)
+            weave.set("total_delay", self.weave_stats.total_delay)
         return root
 
 
@@ -129,16 +142,20 @@ class ZSim:
 
     def __init__(self, config, threads=(), contention_model="weave",
                  profiler=None, host_threads=HostModel.DEFAULT_THREADS,
-                 mem_wrapper=None, stats_period_intervals=0):
+                 mem_wrapper=None, stats_period_intervals=0,
+                 telemetry=None):
         if contention_model not in CONTENTION_MODELS:
             raise ValueError("Unknown contention model: %r"
                              % (contention_model,))
         config.validate()
         self.config = config
         self.contention_model = contention_model
+        #: Optional repro.obs.Telemetry context; None = no-op telemetry.
+        self._telem = telemetry
         build_weave = contention_model in ("weave", "dramsim")
         self.hierarchy = MemoryHierarchy(config, build_weave=build_weave,
-                                         profiler=profiler)
+                                         profiler=profiler,
+                                         telemetry=telemetry)
         if contention_model == "dramsim":
             self._swap_in_dramsim()
         mem = self.hierarchy
@@ -153,10 +170,12 @@ class ZSim:
         self.cores = [make_core(i, mem, overrides.get(i, config.core))
                       for i in range(config.num_cores)]
         self.scheduler = Scheduler(config.num_cores,
-                                   system_view=SystemView(config))
+                                   system_view=SystemView(config),
+                                   telemetry=telemetry)
         bw = config.boundweave
         self.bound = BoundPhase(self.cores, self.scheduler,
-                                shuffle=bw.shuffle_wake_order, seed=bw.seed)
+                                shuffle=bw.shuffle_wake_order, seed=bw.seed,
+                                telemetry=telemetry)
         self.weave = None
         self.core_weaves = []
         if build_weave:
@@ -172,12 +191,14 @@ class ZSim:
                 self.core_weaves, self.hierarchy.weave_components,
                 config.num_tiles, bw.num_domains,
                 crossing_deps=bw.crossing_dependencies,
-                mlp_window=mlp_window)
+                mlp_window=mlp_window, telemetry=telemetry)
         self.host_model = HostModel(host_threads)
         #: Periodic stats sampling (zsim's periodic HDF5 dumps): every
         #: N intervals a (cycle, instrs) sample is appended.
         self.stats_period_intervals = stats_period_intervals
         self.stat_samples = []
+        if telemetry is not None and telemetry.tracer is not None:
+            self._name_tracks(telemetry.tracer)
         for thread in threads:
             self.add_thread(thread)
 
@@ -207,12 +228,22 @@ class ZSim:
 
     # ------------------------------------------------------------------
 
-    def run(self, max_instrs=None, max_cycles=None, max_intervals=None):
+    def run(self, max_instrs=None, max_cycles=None, max_intervals=None,
+            telemetry=None):
         """Run to completion (all threads done) or to a limit.  Returns a
-        :class:`SimulationResult`."""
+        :class:`SimulationResult`.  ``telemetry`` installs (or replaces)
+        the observability context for this run."""
+        if telemetry is not None:
+            self.attach_telemetry(telemetry)
+        telem = self._telem
+        tracer = telem.tracer if telem is not None else None
+        metrics = telem.metrics if telem is not None else None
         interval = self.config.boundweave.interval_cycles
         scheduler = self.scheduler
         limit = interval
+        _log.info("run start: %s, %d cores, %s contention, interval %d",
+                  self.config.name, self.config.num_cores,
+                  self.contention_model, interval)
         start_wall = time.perf_counter()
         intervals_run = 0
         while True:
@@ -226,7 +257,9 @@ class ZSim:
             if max_cycles is not None and \
                     max(c.cycle for c in self.cores) >= max_cycles:
                 break
+            bound_start = time.perf_counter()
             bound_times = self.bound.run_interval(limit)
+            bound_end = time.perf_counter()
             weave_seconds = 0.0
             domain_events = []
             if self.weave is not None:
@@ -252,8 +285,70 @@ class ZSim:
                 self.stat_samples.append(
                     (max(c.cycle for c in self.cores),
                      sum(c.instrs for c in self.cores)))
+            if telem is not None:
+                self._record_interval_telemetry(
+                    tracer, metrics, intervals_run, limit,
+                    bound_start, bound_end, weave_seconds, domain_events)
             limit = self._advance_limit(limit, interval)
-        return SimulationResult(self, time.perf_counter() - start_wall)
+        wall = time.perf_counter() - start_wall
+        result = SimulationResult(self, wall)
+        _log.info("run done: %d instrs, %d cycles, %d intervals, "
+                  "%.3f s wall (%.3f MIPS)", result.instrs, result.cycles,
+                  intervals_run, wall, result.mips)
+        return result
+
+    def attach_telemetry(self, telemetry):
+        """Install an observability context on this simulator and every
+        instrumented subsystem (bound phase, weave engine, hierarchy,
+        scheduler).  Pass None to detach."""
+        self._telem = telemetry
+        self.bound.attach_telemetry(telemetry)
+        self.scheduler.attach_telemetry(telemetry)
+        self.hierarchy.attach_telemetry(telemetry)
+        if self.weave is not None:
+            self.weave.attach_telemetry(telemetry)
+        if telemetry is not None and telemetry.tracer is not None:
+            self._name_tracks(telemetry.tracer)
+
+    def _name_tracks(self, tracer):
+        from repro.obs.tracer import TID_CORE, TID_DOMAIN
+        for core in self.cores:
+            tracer.name_track(TID_CORE + core.core_id,
+                              "bound core%d" % core.core_id)
+        if self.weave is not None:
+            for domain in self.weave.domains:
+                tracer.name_track(TID_DOMAIN + domain.domain_id,
+                                  "weave domain%d" % domain.domain_id)
+
+    def _record_interval_telemetry(self, tracer, metrics, interval_no,
+                                   limit, bound_start, bound_end,
+                                   weave_seconds, domain_events):
+        """One interval's worth of spans and metric samples (only called
+        when telemetry is attached)."""
+        cycle = max(c.cycle for c in self.cores)
+        instrs = sum(c.instrs for c in self.cores)
+        if tracer is not None:
+            tracer.complete_raw("bound", "phase", bound_start, bound_end,
+                                TID_MAIN, {"interval": interval_no,
+                                           "limit_cycle": limit})
+            if self.weave is not None:
+                tracer.complete_raw("weave", "phase", bound_end,
+                                    bound_end + weave_seconds, TID_MAIN,
+                                    {"interval": interval_no,
+                                     "events": sum(domain_events)})
+            tracer.instant("barrier", "interval", TID_MAIN,
+                           {"interval": interval_no, "cycle": cycle,
+                            "instrs": instrs})
+        if metrics is not None:
+            metrics.sample_interval(
+                interval_no, cycle=cycle, instrs=instrs,
+                bound_seconds=bound_end - bound_start,
+                weave_seconds=weave_seconds,
+                weave_events=sum(domain_events),
+                runnable_threads=self.scheduler.runnable_count())
+        _log.debug("interval %d: cycle %d, %d instrs, bound %.3f ms, "
+                   "weave %.3f ms", interval_no, cycle, instrs,
+                   (bound_end - bound_start) * 1e3, weave_seconds * 1e3)
 
     def _advance_limit(self, limit, interval):
         scheduler = self.scheduler
@@ -264,7 +359,8 @@ class ZSim:
                 and not any(c.has_thread for c in self.cores)):
             wake = scheduler.next_wake_cycle()
             if wake is None:
-                blocked = [t.name for t in scheduler.live_threads]
+                blocked = ", ".join(t.name
+                                    for t in scheduler.live_threads)
                 raise RuntimeError(
                     "Deadlock: no runnable threads, no sleepers; "
                     "blocked threads: %s" % blocked)

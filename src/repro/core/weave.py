@@ -21,8 +21,11 @@ paper's crossing-dependency optimization (and its ablation).
 
 from __future__ import annotations
 
+import time
+
 from repro.core.events import EventPool
 from repro.core.domains import Domain, assign_domains
+from repro.obs.tracer import TID_DOMAIN
 
 
 class _Crossing:
@@ -57,7 +60,8 @@ class WeaveEngine:
     """Builds and executes the weave-phase event graph per interval."""
 
     def __init__(self, core_weaves, components, num_tiles, num_domains=0,
-                 crossing_deps=True, mlp_window=None, journal=None):
+                 crossing_deps=True, mlp_window=None, journal=None,
+                 telemetry=None):
         self.core_weaves = core_weaves
         self.components = list(components)
         self.crossing_deps = crossing_deps
@@ -67,6 +71,7 @@ class WeaveEngine:
             list(core_weaves) + self.components, num_tiles, num_domains)
         self.pool = EventPool()
         self.stats = WeaveStats()
+        self._telem = telemetry
         #: Optional list collecting (component, kind, min_cycle, start,
         #: done, core_id) per executed event — the Figure 4 trace, for
         #: debugging and structural tests.
@@ -81,6 +86,8 @@ class WeaveEngine:
         """Simulate one interval.  ``traces`` maps core_id -> list of
         (issue_cycle, AccessResult).  Returns {core_id: delay}."""
         self.stats.intervals += 1
+        telem = self._telem
+        start = time.perf_counter() if telem is not None else 0.0
         for domain in self.domains:
             domain.reset_interval_stats()
         events, last_resp = self._build_events(traces)
@@ -98,7 +105,51 @@ class WeaveEngine:
             self.stats.crossings += domain.crossings
             self.stats.crossing_requeues += domain.crossing_requeues
         self.pool.free_all(events)
+        if telem is not None:
+            self._record_interval_telemetry(telem, start,
+                                            time.perf_counter(),
+                                            len(events))
         return delays
+
+    def attach_telemetry(self, telemetry):
+        self._telem = telemetry
+
+    def _record_interval_telemetry(self, telem, start_s, end_s,
+                                   num_events):
+        """Per-domain spans and queue/crossing histograms for one
+        interval.  Domains execute cooperatively (interleaved on one host
+        thread), so each domain's span is the interval's weave wall time
+        apportioned by its share of executed events — the same model the
+        host-parallelism estimate uses."""
+        tracer = telem.tracer
+        metrics = telem.metrics
+        total = sum(d.events_executed for d in self.domains)
+        wall = end_s - start_s
+        if tracer is not None:
+            cursor_us = (start_s - tracer._t0) * 1e6
+            for domain in self.domains:
+                if domain.events_executed == 0:
+                    continue
+                share_us = (wall * 1e6 * domain.events_executed / total
+                            if total else 0.0)
+                tracer.complete(
+                    "domain%d" % domain.domain_id, "weave", cursor_us,
+                    share_us, TID_DOMAIN + domain.domain_id,
+                    {"interval": self.stats.intervals,
+                     "events": domain.events_executed,
+                     "crossings": domain.crossings,
+                     "requeues": domain.crossing_requeues})
+                cursor_us += share_us
+        if metrics is not None:
+            metrics.histogram("weave.events_per_interval").record(
+                num_events)
+            for domain in self.domains:
+                metrics.histogram("weave.domain_queue_events").record(
+                    domain.events_executed)
+                metrics.histogram("weave.domain_crossings").record(
+                    domain.crossings)
+            metrics.inc("weave.intervals")
+            metrics.inc("weave.events", num_events)
 
     # ------------------------------------------------------------------
 

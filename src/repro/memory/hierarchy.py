@@ -14,6 +14,7 @@ from repro.memory.access import AccessContext, AccessResult
 from repro.memory.cache import Cache, MainMemory
 from repro.memory.network import Network
 from repro.memory.weave import CacheBankWeave, MemCtrlWeave
+from repro.obs.histogram import Log2Histogram
 
 _HASH_MULT = 0x9E3779B1
 
@@ -27,10 +28,17 @@ def hash_line(line):
 class MemoryHierarchy:
     """The full memory system for one simulated chip."""
 
-    def __init__(self, config, build_weave=True, profiler=None):
+    def __init__(self, config, build_weave=True, profiler=None,
+                 telemetry=None):
         config.validate()
         self.config = config
         self.profiler = profiler
+        #: Zero-load latency distribution of every access (log-2
+        #: buckets); always on — recording is one list increment — and
+        #: dumped as the ``access_latency`` histogram in fill_stats.
+        self.access_latency = Log2Histogram("access_latency")
+        self._metrics_latency = None
+        self.attach_telemetry(telemetry)
         self.line_bits = config.l1d.line_bytes.bit_length() - 1
         num_tiles = config.num_tiles
         num_cores = config.num_cores
@@ -209,9 +217,25 @@ class MemoryHierarchy:
                 and "l1d" in ctx.missed_levels):
             self._prefetch(core_id, line, ctx)
         result = AccessResult(ctx)
+        self.access_latency.record(result.latency)
+        if self._metrics_latency is not None:
+            self._metrics_latency.record(result.latency)
+            if result.missed_levels:
+                self._telem.metrics.inc("mem.misses.%s"
+                                        % result.missed_levels[-1])
         if self.profiler is not None:
             self.profiler.record(result, cycle)
         return result
+
+    def attach_telemetry(self, telemetry):
+        """Install (or detach, with None) the observability context; the
+        metrics-side latency histogram is cached so the hot path pays a
+        single identity check when telemetry is off."""
+        self._telem = telemetry
+        self._metrics_latency = (
+            telemetry.metrics.histogram("mem.access_latency")
+            if telemetry is not None and telemetry.metrics is not None
+            else None)
 
     def _prefetch(self, core_id, line, ctx):
         """Train the core's stride prefetcher on the L2 access stream
@@ -240,6 +264,7 @@ class MemoryHierarchy:
         for cache in self.all_caches():
             cache.fill_stats(node.child(cache.name))
         self.mainmem.fill_stats(node.child("mem"))
+        node.histogram("access_latency").merge(self.access_latency)
 
     def reset_weave(self):
         for comp in self.weave_components:

@@ -1,0 +1,33 @@
+"""Observability: tracing, metrics, and profiling hooks.
+
+The telemetry layer mirrors what the paper's evaluation needed to be
+written at all: per-phase (bound vs. weave) wall-clock costs, periodic
+stats dumps, and event/crossing accounting.  Three pillars:
+
+* :mod:`repro.obs.tracer` — span/instant tracing, exportable as Chrome
+  trace-event JSON (load it in ``chrome://tracing`` / Perfetto) or as a
+  compact text timeline.
+* :mod:`repro.obs.metrics` — a registry of counters, gauges, and log-2
+  bucketed histograms, sampled once per simulated interval (zsim's
+  periodic HDF5 dumps), serializable to JSON/CSV.
+* :mod:`repro.obs.context` — the :class:`Telemetry` object threaded
+  through the simulator.  Every hot-path call site guards on
+  ``telem is not None`` so a run without telemetry pays nothing.
+
+:mod:`repro.obs.log` configures structured per-subsystem loggers.
+"""
+
+from repro.obs.context import Telemetry
+from repro.obs.histogram import Log2Histogram
+from repro.obs.log import configure_logging, get_logger
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracer import Tracer
+
+__all__ = [
+    "Log2Histogram",
+    "MetricsRegistry",
+    "Telemetry",
+    "Tracer",
+    "configure_logging",
+    "get_logger",
+]

@@ -1,0 +1,49 @@
+"""Structured logging for the simulator.
+
+One logger per subsystem under the ``repro`` root (``repro.core``,
+``repro.memory``, ``repro.virt``, ``repro.obs``); :func:`get_logger`
+hands them out and :func:`configure_logging` installs a stream handler
+with a consistent format.  Per-run events log at INFO, per-interval
+detail at DEBUG — hot paths never log unconditionally.
+"""
+
+from __future__ import annotations
+
+import logging
+
+_FORMAT = "%(asctime)s %(levelname)-7s %(name)s: %(message)s"
+_DATEFMT = "%H:%M:%S"
+
+LEVELS = ("debug", "info", "warning", "error", "critical")
+
+
+def get_logger(subsystem):
+    """Logger for a subsystem, namespaced under ``repro``."""
+    name = subsystem if subsystem.startswith("repro") \
+        else "repro." + subsystem
+    return logging.getLogger(name)
+
+
+def configure_logging(level="info", stream=None):
+    """Install (or retune) the ``repro`` root handler.  ``level`` is a
+    name from :data:`LEVELS` or a numeric level.  Idempotent: calling
+    again only adjusts the level."""
+    if isinstance(level, str):
+        if level.lower() not in LEVELS:
+            raise ValueError("Unknown log level %r (have: %s)"
+                             % (level, ", ".join(LEVELS)))
+        level = getattr(logging, level.upper())
+    root = logging.getLogger("repro")
+    root.setLevel(level)
+    for handler in root.handlers:
+        if getattr(handler, "_repro_handler", False):
+            handler.setLevel(level)
+            return root
+    handler = logging.StreamHandler(stream)
+    handler.setLevel(level)
+    handler.setFormatter(logging.Formatter(_FORMAT, datefmt=_DATEFMT))
+    handler._repro_handler = True
+    root.addHandler(handler)
+    # Don't propagate to the (possibly pytest-captured) root logger.
+    root.propagate = False
+    return root

@@ -1,0 +1,105 @@
+"""Metrics registry: counters, gauges, log-2 histograms, interval samples.
+
+A flat namespace of dotted metric names (``sched.context_switches``,
+``mem.access_latency``).  The registry also collects *per-interval
+samples* — one row per simulated interval with the bound/weave phase
+timings and progress counters — mirroring zsim's periodic HDF5 stats
+dumps.  Serializes to JSON (everything) and CSV (the sample table).
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.obs.histogram import Log2Histogram
+
+
+class MetricsRegistry:
+    """Named counters, gauges, and histograms plus an interval table."""
+
+    def __init__(self):
+        self._counters = {}
+        self._gauges = {}
+        self._histograms = {}
+        #: Per-interval sample rows (dicts with an ``interval`` key).
+        self.samples = []
+
+    # ------------------------------------------------------------------
+    # Scalars
+    # ------------------------------------------------------------------
+
+    def inc(self, name, amount=1):
+        self._counters[name] = self._counters.get(name, 0) + amount
+
+    def counter(self, name):
+        return self._counters.get(name, 0)
+
+    def gauge(self, name, value):
+        self._gauges[name] = value
+
+    def histogram(self, name):
+        """Get-or-create the named :class:`Log2Histogram`."""
+        hist = self._histograms.get(name)
+        if hist is None:
+            hist = Log2Histogram(name)
+            self._histograms[name] = hist
+        return hist
+
+    # ------------------------------------------------------------------
+    # Interval sampling
+    # ------------------------------------------------------------------
+
+    def sample_interval(self, interval, **fields):
+        """Append one per-interval sample row (zsim's periodic dump)."""
+        row = {"interval": interval}
+        row.update(fields)
+        self.samples.append(row)
+
+    # ------------------------------------------------------------------
+    # Export
+    # ------------------------------------------------------------------
+
+    def to_dict(self):
+        return {
+            "counters": dict(self._counters),
+            "gauges": dict(self._gauges),
+            "histograms": {name: hist.to_dict()
+                           for name, hist in self._histograms.items()},
+            "samples": list(self.samples),
+        }
+
+    def to_json(self, **kwargs):
+        return json.dumps(self.to_dict(), sort_keys=True, **kwargs)
+
+    def write(self, path, indent=2):
+        with open(path, "w") as handle:
+            handle.write(self.to_json(indent=indent))
+
+    def samples_csv(self):
+        """The interval-sample table as CSV text (union of columns)."""
+        if not self.samples:
+            return ""
+        columns = ["interval"]
+        for row in self.samples:
+            for key in row:
+                if key not in columns:
+                    columns.append(key)
+        lines = [",".join(columns)]
+        for row in self.samples:
+            lines.append(",".join(_csv_cell(row.get(col))
+                                  for col in columns))
+        return "\n".join(lines) + "\n"
+
+    def __repr__(self):
+        return ("MetricsRegistry(%d counters, %d gauges, %d histograms, "
+                "%d samples)" % (len(self._counters), len(self._gauges),
+                                 len(self._histograms),
+                                 len(self.samples)))
+
+
+def _csv_cell(value):
+    if value is None:
+        return ""
+    if isinstance(value, float):
+        return "%.9g" % value
+    return str(value)

@@ -1,5 +1,6 @@
 """Statistics: hierarchical counters, metric aggregation, reporting."""
 
+from repro.obs.histogram import Log2Histogram
 from repro.stats.aggregate import (
     confidence_interval_95,
     hmean,
@@ -17,6 +18,7 @@ from repro.stats.counters import StatsNode
 from repro.stats.reporting import format_series, format_table
 
 __all__ = [
+    "Log2Histogram",
     "StatsNode",
     "confidence_interval_95",
     "format_series",

@@ -1,22 +1,29 @@
 """Hierarchical simulation statistics.
 
-zsim aggregates per-component counters into an HDF5 stats file.  We keep
-the same shape — every simulated component owns a named stats node with
-counters and histograms, collected into one tree — but serialize to plain
-dicts/JSON, which is sufficient for a pure-Python reproduction.
+zsim aggregates per-component stats into an HDF5 file.  We keep the same
+shape — every simulated component owns a named stats node holding plain
+counters and log-2 bucketed histograms (see
+:class:`repro.obs.histogram.Log2Histogram`), collected into one tree —
+but serialize to plain dicts/JSON, which is sufficient for a pure-Python
+reproduction.  Histograms appear in ``to_dict``/``to_json`` as nested
+objects with a ``buckets`` map, and in ``flatten`` as their summary
+scalars (``count``/``total``/``mean``).
 """
 
 from __future__ import annotations
 
 import json
 
+from repro.obs.histogram import Log2Histogram
+
 
 class StatsNode:
-    """A named node in the stats tree: counters plus child nodes."""
+    """A named node in the stats tree: counters, histograms, children."""
 
     def __init__(self, name):
         self.name = name
         self._counters = {}
+        self._histograms = {}
         self._children = {}
 
     def counter(self, name, initial=0):
@@ -32,6 +39,14 @@ class StatsNode:
     def get(self, name, default=0):
         return self._counters.get(name, default)
 
+    def histogram(self, name):
+        """Get-or-create a named :class:`Log2Histogram` on this node."""
+        hist = self._histograms.get(name)
+        if hist is None:
+            hist = Log2Histogram(name)
+            self._histograms[name] = hist
+        return hist
+
     def child(self, name):
         """Get-or-create a child node."""
         node = self._children.get(name)
@@ -45,12 +60,18 @@ class StatsNode:
         return dict(self._counters)
 
     @property
+    def histograms(self):
+        return dict(self._histograms)
+
+    @property
     def children(self):
         return dict(self._children)
 
     def to_dict(self):
         """Serialize the subtree to nested dicts."""
         out = dict(self._counters)
+        for name, hist in self._histograms.items():
+            out[name] = hist.to_dict()
         for name, node in self._children.items():
             out[name] = node.to_dict()
         return out
@@ -59,13 +80,19 @@ class StatsNode:
         return json.dumps(self.to_dict(), sort_keys=True, **kwargs)
 
     def flatten(self, prefix=""):
-        """Yield (dotted_path, value) for every counter in the subtree."""
+        """Yield (dotted_path, value) for every counter in the subtree;
+        histograms contribute their count/total/mean scalars."""
         base = prefix + self.name
         for key, value in self._counters.items():
             yield "%s.%s" % (base, key), value
+        for key, hist in self._histograms.items():
+            yield "%s.%s.count" % (base, key), hist.count
+            yield "%s.%s.total" % (base, key), hist.total
+            yield "%s.%s.mean" % (base, key), hist.mean
         for node in self._children.values():
             yield from node.flatten(base + ".")
 
     def __repr__(self):
-        return ("StatsNode(%r, %d counters, %d children)"
-                % (self.name, len(self._counters), len(self._children)))
+        return ("StatsNode(%r, %d counters, %d histograms, %d children)"
+                % (self.name, len(self._counters), len(self._histograms),
+                   len(self._children)))

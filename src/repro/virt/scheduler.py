@@ -14,8 +14,12 @@ from __future__ import annotations
 
 from collections import deque
 
+from repro.obs.log import get_logger
+from repro.obs.tracer import TID_SCHED
 from repro.virt.process import SimThread, ThreadState
 from repro.virt import syscalls as sc
+
+_log = get_logger("virt.scheduler")
 
 
 class SyscallResult:
@@ -28,8 +32,9 @@ class Scheduler:
     """Deterministic round-robin scheduler over simulated cores."""
 
     def __init__(self, num_cores, quantum=50_000, syscall_overhead=100,
-                 system_view=None):
+                 system_view=None, telemetry=None):
         self.num_cores = num_cores
+        self._telem = telemetry
         self.quantum = quantum
         self.syscall_overhead = syscall_overhead
         #: Optional SystemView serving virtualized /proc reads.
@@ -105,7 +110,23 @@ class Scheduler:
         chosen.run_start_cycle = max(cycle, chosen.wake_cycle)
         self._running[core_id] = chosen
         self.context_switches += 1
+        if self._telem is not None:
+            self._sched_event("schedule", chosen,
+                              {"core": core_id, "cycle": cycle})
         return chosen
+
+    def attach_telemetry(self, telemetry):
+        self._telem = telemetry
+
+    def _sched_event(self, kind, thread, args):
+        """One scheduler event (telemetry attached only): a trace
+        instant on the scheduler lane plus a counter."""
+        telem = self._telem
+        args["thread"] = thread.name
+        if telem.tracer is not None:
+            telem.tracer.instant(kind, "sched", TID_SCHED, args)
+        if telem.metrics is not None:
+            telem.metrics.inc("sched.%s" % kind)
 
     def reattach(self, core_id, thread):
         """Put a thread back on its core after a non-blocking syscall."""
@@ -143,6 +164,9 @@ class Scheduler:
         thread.state = ThreadState.RUNNABLE
         thread.wake_cycle = cycle
         self._run_queue.append(thread)
+        if self._telem is not None:
+            self._sched_event("preempt", thread,
+                              {"core": core_id, "cycle": cycle})
         return thread
 
     def runnable_count(self, cycle=None):
@@ -183,6 +207,9 @@ class Scheduler:
         :class:`SyscallResult` value."""
         self.syscalls_handled += 1
         thread.syscall_count += 1
+        if self._telem is not None and self._telem.metrics is not None:
+            self._telem.metrics.inc("sched.syscalls.%s"
+                                    % type(syscall).__name__)
         if isinstance(syscall, sc.FutexWait):
             tokens = self._futex_tokens.get(syscall.key, 0)
             if tokens > 0:
@@ -265,12 +292,16 @@ class Scheduler:
     def _block(self, thread):
         thread.state = ThreadState.BLOCKED
         thread.blocked_count += 1
+        if self._telem is not None:
+            self._sched_event("block", thread, {})
         return SyscallResult.BLOCKED
 
     def _wake(self, thread, cycle):
         thread.state = ThreadState.RUNNABLE
         thread.wake_cycle = cycle + self.syscall_overhead
         self._run_queue.append(thread)
+        if self._telem is not None:
+            self._sched_event("wake", thread, {"cycle": cycle})
 
     def _wake_sleepers(self, cycle):
         if not self._sleepers:

@@ -206,3 +206,27 @@ class TestDeadlockDetection:
             SimThread(InstrumentedStream(stuck("b")), name="b")])
         with pytest.raises(RuntimeError, match="Deadlock"):
             sim.run()
+
+    def test_deadlock_message_names_threads_readably(self, tiny_config):
+        """Regression: the deadlock error must list thread *names*
+        (joined, human-readable), not SimThread reprs."""
+        from repro.dbt.instrumentation import InstrumentedStream
+        from repro.isa.opcodes import Opcode
+        from repro.isa.program import BBLExec, Instruction, Program
+        from repro.virt.syscalls import FutexWait
+
+        program = Program("dead")
+        sys_block = program.add_block([Instruction(Opcode.SYSCALL)])
+
+        def stuck(key):
+            yield BBLExec(sys_block, (), syscall=FutexWait(key))
+
+        sim = ZSim(tiny_config, threads=[
+            SimThread(InstrumentedStream(stuck("x")), name="worker-a"),
+            SimThread(InstrumentedStream(stuck("y")), name="worker-b")])
+        with pytest.raises(RuntimeError) as excinfo:
+            sim.run()
+        message = str(excinfo.value)
+        assert "worker-a, worker-b" in message
+        assert "SimThread" not in message
+        assert "[" not in message  # no list repr leaking through

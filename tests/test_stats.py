@@ -51,6 +51,41 @@ class TestStatsNode:
         flat = dict(root.flatten())
         assert flat == {"sim.cycles": 7, "sim.core0.instrs": 3}
 
+    def test_histogram_get_or_create(self):
+        node = StatsNode("n")
+        hist = node.histogram("lat")
+        assert node.histogram("lat") is hist
+        assert node.histograms == {"lat": hist}
+
+    def test_histogram_in_to_dict_and_json(self):
+        node = StatsNode("n")
+        node.set("hits", 2)
+        node.child("sub").histogram("lat").record(5)
+        doc = node.to_dict()
+        assert doc["hits"] == 2
+        assert doc["sub"]["lat"]["count"] == 1
+        assert doc["sub"]["lat"]["buckets"] == {"4-7": 1}
+        assert json.loads(node.to_json()) == doc
+
+    def test_histogram_edge_values_round_trip(self):
+        node = StatsNode("n")
+        hist = node.histogram("lat")
+        for value in (0, 1, 1 << 100):
+            hist.record(value)
+        doc = json.loads(node.to_json())["lat"]
+        assert doc["count"] == 3
+        assert doc["min"] == 0 and doc["max"] == 1 << 100
+        assert doc["buckets"]["0"] == 1
+        assert doc["buckets"]["1"] == 1
+
+    def test_histogram_flatten_scalars(self):
+        node = StatsNode("sim")
+        node.histogram("lat").record(8, n=2)
+        flat = dict(node.flatten())
+        assert flat["sim.lat.count"] == 2
+        assert flat["sim.lat.total"] == 16
+        assert flat["sim.lat.mean"] == 8.0
+
 
 class TestMetrics:
     def test_ipc(self):
