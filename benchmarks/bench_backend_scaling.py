@@ -1,0 +1,66 @@
+"""Execution backends: measured vs modeled speedup.
+
+Runs the same multithreaded workload under each execution backend and
+prints, side by side, the wall time the backend actually achieved
+(measured makespan) and the speedup the host-parallelism model predicts
+for the configured thread count.  On stock CPython the GIL keeps
+measured speedups near 1x while the model predicts the algorithm's
+parallelism — the gap IS the result; on free-threaded builds the two
+columns converge.  Simulated results are asserted identical across
+backends (the determinism contract of repro.exec).
+"""
+
+from conftest import emit, instrs, once, tiles
+
+from repro.config import tiled_chip
+from repro.core import ZSim
+from repro.exec import BACKEND_NAMES
+from repro.stats import format_table
+from repro.workloads import mt_workload
+
+
+def _run_backend(config, workload, target, backend):
+    sim = ZSim(config,
+               threads=workload.make_threads(
+                   target_instrs=target, num_threads=config.num_cores),
+               contention_model="weave", backend=backend)
+    result = sim.run()
+    tree = result.stats().to_dict()
+    tree.pop("host", None)
+    return result, sim.host_model, tree
+
+
+def test_backend_scaling(benchmark):
+    config = tiled_chip(num_tiles=tiles(4), core_model="simple",
+                        cores_per_tile=4)
+    workload = mt_workload("ocean", scale=1 / 64,
+                           num_threads=config.num_cores)
+    target = instrs(120_000)
+    host = config.boundweave.host_threads
+
+    def run():
+        rows = []
+        baseline = None
+        for backend in BACKEND_NAMES:
+            result, model, tree = _run_backend(config, workload, target,
+                                               backend)
+            if baseline is None:
+                baseline = tree
+            assert tree == baseline, (
+                "%s backend changed simulated results" % backend)
+            modeled = (model.pipelined_speedup(host)
+                       if backend == "pipelined" else model.speedup(host))
+            rows.append([backend,
+                         "%.3f" % result.wall_seconds,
+                         "%.2fx" % model.measured_speedup(),
+                         "%.2fx" % modeled,
+                         "%d" % result.instrs])
+        return rows
+
+    rows = once(benchmark, run)
+    emit("backend_scaling", format_table(
+        ["backend", "wall s", "measured", "modeled x%d" % host,
+         "instrs"],
+        rows,
+        title="Execution backends (%d cores, measured vs modeled)"
+        % config.num_cores))

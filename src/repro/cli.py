@@ -14,12 +14,12 @@ Subcommands:
 from __future__ import annotations
 
 import argparse
-import json
 import sys
 
 from repro.config import small_test_system, tiled_chip, westmere
 from repro.config.loader import load_config
 from repro.core.simulator import CONTENTION_MODELS, ZSim
+from repro.exec import BACKEND_NAMES
 
 PRESETS = {
     "westmere": lambda cores: westmere(num_cores=cores or 6),
@@ -96,11 +96,11 @@ def cmd_run(args):
         num_threads=args.threads or workload.num_threads)
     telemetry = _make_telemetry(args)
     sim = ZSim(config, threads=threads, contention_model=args.contention,
-               telemetry=telemetry)
+               telemetry=telemetry, backend=args.backend)
     result = sim.run()
-    print("workload %s on %s (%d cores, %s, %s contention)"
+    print("workload %s on %s (%d cores, %s, %s contention, %s backend)"
           % (workload.name, config.name, config.num_cores,
-             config.core.model, args.contention))
+             config.core.model, args.contention, sim.backend.name))
     print("  instrs  : %d" % result.instrs)
     print("  cycles  : %d" % result.cycles)
     print("  IPC     : %.3f" % result.ipc)
@@ -227,6 +227,11 @@ def build_parser():
     add_common(run)
     run.add_argument("--contention", choices=CONTENTION_MODELS,
                      default="weave")
+    run.add_argument("--backend", choices=BACKEND_NAMES, default=None,
+                     help="execution backend (how the engine runs on "
+                          "the host; simulated results are identical "
+                          "across backends; default: config's "
+                          "boundweave.backend)")
     run.add_argument("--stats-json", "--stats-out", dest="stats_out",
                      default=None,
                      help="write the stats tree (incl. host speedup "

@@ -143,6 +143,9 @@ class BoundWeaveConfig:
     crossing_dependencies: bool = True   # ablation: crossing optimizations
     ooo_mlp_window: int = 8    # weave: overlapping misses per OOO core
     seed: int = 0xDA7A
+    #: Execution backend: how the engine runs on the host (see
+    #: repro.exec).  All backends produce identical simulated results.
+    backend: str = "serial"
 
 
 @dataclass
@@ -196,6 +199,10 @@ class SystemConfig:
                 cache.num_sets  # raises if geometry is inconsistent
         if self.boundweave.interval_cycles < 10:
             raise ValueError("Interval too short")
+        if self.boundweave.backend not in ("serial", "parallel",
+                                           "pipelined"):
+            raise ValueError("Unknown execution backend: %r"
+                             % (self.boundweave.backend,))
         return self
 
     def core_tile(self, core_id):

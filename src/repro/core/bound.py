@@ -56,9 +56,14 @@ class BoundPhase:
             telem.metrics.histogram("bound.core_run_us").record(
                 int((end_s - start_s) * 1e6))
 
-    def run_interval(self, limit_cycle):
+    def run_interval(self, limit_cycle, backend=None):
         """Simulate every core up to ``limit_cycle``.  Returns the list of
         (core_id, host_seconds) in wake-up order for the host model.
+
+        This method decides *what* to run — the shuffled wake order and
+        the second-chance passes — while ``backend`` (an
+        :class:`repro.exec.ExecutionBackend`) decides *how* each pass
+        executes; ``None`` uses the inline reference pass.
 
         Cores whose thread blocks (or that start idle) are revisited
         after the first pass: threads woken mid-interval — by another
@@ -68,46 +73,52 @@ class BoundPhase:
         interval skip to the limit.
         """
         self.intervals += 1
-        telem = self._telem
         order = self._order
         if self.shuffle:
             self.rng.shuffle(order)
         timings = []
-        idle = []
-        for core_id in order:
-            start = time.perf_counter()
-            core = self.cores[core_id]
-            if not self._run_core(core, limit_cycle):
-                idle.append(core)
-            end = time.perf_counter()
-            timings.append((core_id, end - start))
-            if telem is not None:
-                self._trace_core_run(core_id, start, end)
+
+        def run_pass(cores):
+            if backend is None:
+                return self.run_pass(cores, limit_cycle, timings)
+            return backend.run_bound_pass(self, cores, limit_cycle,
+                                          timings)
+
+        outcomes = run_pass([self.cores[core_id] for core_id in order])
+        idle = [core for core, ran in outcomes if not ran]
         # Second-chance passes: drain threads that became runnable
         # during this interval onto the idle cores.
         while idle:
             self.scheduler.wake_sleepers_until(limit_cycle)
             idle.sort(key=lambda c: c.cycle)
-            progress = False
-            still_idle = []
-            for core in idle:
-                start = time.perf_counter()
-                ran = self._run_core(core, limit_cycle)
-                end = time.perf_counter()
-                timings.append((core.core_id, end - start))
-                if telem is not None:
-                    self._trace_core_run(core.core_id, start, end)
-                if ran:
-                    progress = True
-                else:
-                    still_idle.append(core)
-            idle = still_idle
-            if not progress:
+            outcomes = run_pass(idle)
+            idle = [core for core, ran in outcomes if not ran]
+            if len(idle) == len(outcomes):  # no progress
                 break
         # Cores still idle keep their clocks frozen: they resume from a
         # thread's wake cycle when work appears, and the final cycle
         # count reflects work, not idle padding.
         return timings
+
+    def run_pass(self, cores, limit_cycle, timings):
+        """Inline reference executor for one bound pass: run ``cores``
+        one after another in wake order on the calling thread.  Appends
+        (core_id, host_seconds) to ``timings``; returns
+        ``[(core, ran_to_limit)]``.  Backends that execute passes
+        differently must preserve this effect order — cores share the
+        scheduler and the memory hierarchy, so the order is simulated
+        semantics, not an implementation detail."""
+        telem = self._telem
+        outcomes = []
+        for core in cores:
+            start = time.perf_counter()
+            ran = self._run_core(core, limit_cycle)
+            end = time.perf_counter()
+            timings.append((core.core_id, end - start))
+            if telem is not None:
+                self._trace_core_run(core.core_id, start, end)
+            outcomes.append((core, ran))
+        return outcomes
 
     # ------------------------------------------------------------------
 

@@ -38,6 +38,12 @@ class Domain:
     def head_cycle(self):
         return self._queue[0][0] if self._queue else None
 
+    def head_item(self):
+        """Peek the earliest queued item without popping (execution
+        backends use this to decide whether the head is independently
+        executable or a domain-crossing synchronization point)."""
+        return self._queue[0][2] if self._queue else None
+
     def __len__(self):
         return len(self._queue)
 

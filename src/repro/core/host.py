@@ -45,13 +45,24 @@ class HostModel:
         self._bound_parallel = {h: 0.0 for h in self.host_threads}
         self._weave_parallel = {h: 0.0 for h in self.host_threads}
         self.intervals = 0
+        #: Wall time actually spent per interval by the execution
+        #: backend (measured makespans, reported next to the modeled
+        #: ones) and which backend produced it.
+        self.measured_wall = 0.0
+        self.backend_name = None
 
     def record_interval(self, bound_times, weave_domain_events,
-                        weave_seconds, other_seconds=0.0):
+                        weave_seconds, other_seconds=0.0,
+                        measured_seconds=None):
         """``bound_times``: [(core_id, seconds)] in wake order.
         ``weave_domain_events``: executed events per domain.
-        ``weave_seconds``: measured wall time of the weave phase."""
+        ``weave_seconds``: measured wall time of the weave phase.
+        ``measured_seconds``: the interval's actual wall time under the
+        active execution backend (bound + weave makespan as executed,
+        including handoff overhead)."""
         self.intervals += 1
+        if measured_seconds is not None:
+            self.measured_wall += measured_seconds
         times = [t for _cid, t in bound_times]
         self.bound_serial += sum(times)
         self.weave_serial += weave_seconds
@@ -106,13 +117,29 @@ class HostModel:
             return 1.0
         return self.serial_time() / par
 
+    # Measured makespans: what the active execution backend actually
+    # achieved, reported next to the modeled curves so measured-vs-
+    # modeled gaps (e.g. the GIL) are visible in one stats tree.
+    def measured_speedup(self):
+        """Measured speedup of the active backend over the serial work
+        time (sum of per-core bound times + weave wall): ~1x for the
+        serial backend, >1x only when the backend achieves real
+        overlap."""
+        if self.measured_wall <= 0:
+            return 1.0
+        return self.serial_time() / self.measured_wall
+
     def fill_stats(self, node):
-        """Dump the measured phase costs and modeled speedup curves into
-        a :class:`~repro.stats.StatsNode` (Figure 8's raw material)."""
+        """Dump the measured phase costs, measured backend makespan, and
+        modeled speedup curves into a :class:`~repro.stats.StatsNode`
+        (Figure 8's raw material)."""
         node.set("intervals", self.intervals)
+        node.set("backend", self.backend_name or "serial")
         node.set("bound_serial_seconds", self.bound_serial)
         node.set("weave_serial_seconds", self.weave_serial)
         node.set("other_serial_seconds", self.other_serial)
+        node.set("measured_wall_seconds", self.measured_wall)
+        node.set("measured_speedup", self.measured_speedup())
         speedup = node.child("speedup")
         pipelined = node.child("pipelined_speedup")
         for h in self.host_threads:

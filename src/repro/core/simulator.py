@@ -18,6 +18,8 @@ from repro.core.domains import CoreWeave
 from repro.core.host import HostModel
 from repro.core.weave import WeaveEngine
 from repro.cpu import make_core
+from repro.exec import make_backend
+from repro.exec.backend import ExecutionBackend
 from repro.memory.contention import MD1Model
 from repro.memory.dramsim import DRAMSimWeave
 from repro.memory.hierarchy import MemoryHierarchy
@@ -64,6 +66,13 @@ class _MD1Memory:
                            and levels[-1] in ("l2", "l1d", "l1i"))
 
     def __getattr__(self, name):
+        # Raise AttributeError (never recurse) for dunders and for
+        # lookups that happen before __init__ ran — copy/pickle probe
+        # for __deepcopy__/__reduce__ on half-built instances, which
+        # execution-backend workers may trigger.
+        if name.startswith("__") or "hierarchy" not in self.__dict__:
+            raise AttributeError(
+                "%s has no attribute %r" % (type(self).__name__, name))
         return getattr(self.hierarchy, name)
 
 
@@ -143,7 +152,7 @@ class ZSim:
     def __init__(self, config, threads=(), contention_model="weave",
                  profiler=None, host_threads=HostModel.DEFAULT_THREADS,
                  mem_wrapper=None, stats_period_intervals=0,
-                 telemetry=None):
+                 telemetry=None, backend=None):
         if contention_model not in CONTENTION_MODELS:
             raise ValueError("Unknown contention model: %r"
                              % (contention_model,))
@@ -193,6 +202,19 @@ class ZSim:
                 crossing_deps=bw.crossing_dependencies,
                 mlp_window=mlp_window, telemetry=telemetry)
         self.host_model = HostModel(host_threads)
+        # Execution backend: how bound passes and weave intervals run on
+        # the host (serial reference, worker pool, or two-stage
+        # pipeline).  None defers to config.boundweave.backend.
+        if backend is None:
+            backend = getattr(bw, "backend", "serial") or "serial"
+        if isinstance(backend, str):
+            backend = make_backend(backend)
+        elif not isinstance(backend, ExecutionBackend):
+            raise TypeError("backend must be a name or an "
+                            "ExecutionBackend, got %r" % (backend,))
+        self.backend = backend
+        self.backend.start(self)
+        self.host_model.backend_name = self.backend.name
         #: Periodic stats sampling (zsim's periodic HDF5 dumps): every
         #: N intervals a (cycle, instrs) sample is appended.
         self.stats_period_intervals = stats_period_intervals
@@ -246,56 +268,77 @@ class ZSim:
                   self.contention_model, interval)
         start_wall = time.perf_counter()
         intervals_run = 0
-        while True:
-            if scheduler.all_done:
-                break
-            if max_intervals is not None and intervals_run >= max_intervals:
-                break
-            if max_instrs is not None and \
-                    sum(c.instrs for c in self.cores) >= max_instrs:
-                break
-            if max_cycles is not None and \
-                    max(c.cycle for c in self.cores) >= max_cycles:
-                break
-            bound_start = time.perf_counter()
-            bound_times = self.bound.run_interval(limit)
-            bound_end = time.perf_counter()
-            weave_seconds = 0.0
-            domain_events = []
-            if self.weave is not None:
-                traces = {}
-                for core in self.cores:
-                    if core.trace:
-                        traces[core.core_id] = core.take_trace()
-                weave_start = time.perf_counter()
-                delays = self.weave.run_interval(traces)
-                weave_seconds = time.perf_counter() - weave_start
-                domain_events = self.weave.last_interval_domain_events
-                for core_id, delay in delays.items():
-                    self.cores[core_id].apply_delay(delay)
-            else:
-                for core in self.cores:
-                    core.trace.clear()
-            self.host_model.record_interval(bound_times, domain_events,
-                                            weave_seconds)
-            self.bound.preempt(limit)
-            intervals_run += 1
-            if (self.stats_period_intervals
-                    and intervals_run % self.stats_period_intervals == 0):
-                self.stat_samples.append(
-                    (max(c.cycle for c in self.cores),
-                     sum(c.instrs for c in self.cores)))
-            if telem is not None:
-                self._record_interval_telemetry(
-                    tracer, metrics, intervals_run, limit,
-                    bound_start, bound_end, weave_seconds, domain_events)
-            limit = self._advance_limit(limit, interval)
+        try:
+            while not self._done(scheduler, intervals_run, max_instrs,
+                                 max_cycles, max_intervals):
+                bound_start = time.perf_counter()
+                bound_times = self.bound.run_interval(
+                    limit, backend=self.backend)
+                bound_end = time.perf_counter()
+                weave_seconds, domain_events = self._weave_interval()
+                self.host_model.record_interval(
+                    bound_times, domain_events, weave_seconds,
+                    measured_seconds=(bound_end - bound_start)
+                    + weave_seconds)
+                self.bound.preempt(limit)
+                intervals_run += 1
+                if (self.stats_period_intervals
+                        and intervals_run % self.stats_period_intervals
+                        == 0):
+                    self.stat_samples.append(
+                        (max(c.cycle for c in self.cores),
+                         sum(c.instrs for c in self.cores)))
+                if telem is not None:
+                    self._record_interval_telemetry(
+                        tracer, metrics, intervals_run, limit,
+                        bound_start, bound_end, weave_seconds,
+                        domain_events)
+                limit = self._advance_limit(limit, interval)
+        finally:
+            self.backend.shutdown()
         wall = time.perf_counter() - start_wall
         result = SimulationResult(self, wall)
         _log.info("run done: %d instrs, %d cycles, %d intervals, "
                   "%.3f s wall (%.3f MIPS)", result.instrs, result.cycles,
                   intervals_run, wall, result.mips)
         return result
+
+    def _done(self, scheduler, intervals_run, max_instrs, max_cycles,
+              max_intervals):
+        """Termination predicate of the interval loop."""
+        if scheduler.all_done:
+            return True
+        if max_intervals is not None and intervals_run >= max_intervals:
+            return True
+        if max_instrs is not None and \
+                sum(c.instrs for c in self.cores) >= max_instrs:
+            return True
+        return max_cycles is not None and \
+            max(c.cycle for c in self.cores) >= max_cycles
+
+    def _collect_traces(self):
+        """Harvest the weave traces every core recorded this interval."""
+        traces = {}
+        for core in self.cores:
+            if core.trace:
+                traces[core.core_id] = core.take_trace()
+        return traces
+
+    def _weave_interval(self):
+        """Run the weave phase for the traces of the interval that just
+        ended (through the execution backend) and apply the resulting
+        contention delays.  Returns (weave_seconds, domain_events)."""
+        if self.weave is None:
+            for core in self.cores:
+                core.trace.clear()
+            return 0.0, []
+        traces = self._collect_traces()
+        weave_start = time.perf_counter()
+        delays = self.backend.run_weave(self.weave, traces)
+        weave_seconds = time.perf_counter() - weave_start
+        for core_id, delay in delays.items():
+            self.cores[core_id].apply_delay(delay)
+        return weave_seconds, self.weave.last_interval_domain_events
 
     def attach_telemetry(self, telemetry):
         """Install an observability context on this simulator and every
@@ -340,6 +383,7 @@ class ZSim:
                            {"interval": interval_no, "cycle": cycle,
                             "instrs": instrs})
         if metrics is not None:
+            self.backend.sample_idle(metrics)
             metrics.sample_interval(
                 interval_no, cycle=cycle, instrs=instrs,
                 bound_seconds=bound_end - bound_start,

@@ -24,7 +24,7 @@ from __future__ import annotations
 import time
 
 from repro.core.events import EventPool
-from repro.core.domains import Domain, assign_domains
+from repro.core.domains import assign_domains
 from repro.obs.tracer import TID_DOMAIN
 
 
@@ -82,9 +82,16 @@ class WeaveEngine:
 
     # ------------------------------------------------------------------
 
-    def run_interval(self, traces):
+    def run_interval(self, traces, executor=None):
         """Simulate one interval.  ``traces`` maps core_id -> list of
-        (issue_cycle, AccessResult).  Returns {core_id: delay}."""
+        (issue_cycle, AccessResult).  Returns {core_id: delay}.
+
+        ``executor`` — a callable taking the built event list — replaces
+        *how* the event graph executes (an execution backend's parallel
+        drain); ``None`` uses the engine's earliest-first reference
+        executor.  Any executor must produce the same per-component
+        ``occupy`` order as the reference, which is the order simulated
+        timing depends on."""
         self.stats.intervals += 1
         telem = self._telem
         start = time.perf_counter() if telem is not None else 0.0
@@ -92,7 +99,10 @@ class WeaveEngine:
             domain.reset_interval_stats()
         events, last_resp = self._build_events(traces)
         if events:
-            self._execute(events)
+            if executor is None:
+                self._execute(events)
+            else:
+                executor(events)
         delays = {}
         for core_id, resp in last_resp.items():
             delay = (resp.done or resp.min_cycle) - resp.min_cycle
@@ -199,16 +209,25 @@ class WeaveEngine:
     # ------------------------------------------------------------------
 
     def _execute(self, events):
+        """Reference execution: seed the domain queues, then drain
+        earliest-first.  Backends may replace the drain (via the
+        ``executor`` hook of :meth:`run_interval`) but reuse
+        :meth:`seed_queues`."""
+        self.seed_queues(events)
+        self._drain_earliest_first()
+
+    def seed_queues(self, events):
+        """Enqueue root events (no pending parents) into their domains.
+
+        With the crossing-dependency optimization disabled (ablation:
+        premature synchronization), every non-root event whose incoming
+        edge crosses domains additionally gets an eager
+        :class:`_Crossing` probe from the child's side — the delivery
+        itself still comes from the parent when it finishes."""
         domains = self.domains
-        # Enqueue roots; materialize crossing probes if the optimization
-        # is disabled (ablation: premature synchronization).
         for event in events:
             if event.parents_left == 0:
                 domains[event.domain].push(event.min_cycle, event)
-            elif not self.crossing_deps:
-                # This event will be delivered by its parent; if the edge
-                # crosses domains, probe eagerly from the child's side.
-                pass
         if not self.crossing_deps:
             for event in events:
                 for child, gap in event.children:
@@ -216,6 +235,11 @@ class WeaveEngine:
                         probe = _Crossing(event, gap)
                         domains[child.domain].push(child.min_cycle, probe)
 
+    def _drain_earliest_first(self):
+        """Always advance the domain with the earliest pending event —
+        a deterministic, conservative emulation of zsim's
+        thread-per-domain execution (see module docs)."""
+        domains = self.domains
         while True:
             best = None
             best_cycle = None

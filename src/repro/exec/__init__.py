@@ -1,0 +1,65 @@
+"""Execution backends: how the bound-weave engine runs on the host.
+
+The engine layers split "what to run" from "how to run it":
+
+* :mod:`repro.core.bound` and :mod:`repro.core.weave` produce the work —
+  bound-phase core runs in barrier wake order, and the weave-phase event
+  graph partitioned into domains.
+* An :class:`ExecutionBackend` owns the host resources (worker threads,
+  queues, handoff discipline) that execute that work.
+
+Three backends ship:
+
+* :class:`SerialBackend` — the default; runs everything inline on the
+  calling thread, bit-identical to the engine before backends existed.
+* :class:`ParallelBackend` — a worker pool of up to
+  ``boundweave.host_threads`` threads.  Bound-phase cores are dispatched
+  to workers through bounded per-worker queues with an ordered ticket
+  handoff; weave domains execute concurrently on per-domain workers for
+  provably independent event batches, synchronizing only at
+  domain-crossing events.
+* :class:`PipelinedBackend` — a two-stage pipeline: the bound phase runs
+  on the driver thread while a dedicated weave-stage thread consumes
+  intervals from a bounded queue (the paper's stated future work, modeled
+  by ``HostModel.pipelined_*``).
+
+The cardinal invariant (the ZSim property the equivalence suite pins):
+backends may change *wall time*, never *simulated results*.  For one
+seed, every backend produces the same instruction counts, cycles,
+per-core stats, and weave delays as :class:`SerialBackend`.
+"""
+
+from repro.exec.backend import ExecutionBackend
+from repro.exec.parallel import ParallelBackend
+from repro.exec.pipelined import PipelinedBackend
+from repro.exec.serial import SerialBackend
+
+#: Valid names for ``--backend`` / ``config.boundweave.backend``.
+BACKEND_NAMES = ("serial", "parallel", "pipelined")
+
+_BACKENDS = {
+    "serial": SerialBackend,
+    "parallel": ParallelBackend,
+    "pipelined": PipelinedBackend,
+}
+
+
+def make_backend(name, host_threads=None):
+    """Instantiate a backend by name (``serial``/``parallel``/
+    ``pipelined``); raises ValueError for unknown names."""
+    try:
+        cls = _BACKENDS[name]
+    except KeyError:
+        raise ValueError("Unknown execution backend: %r (valid: %s)"
+                         % (name, ", ".join(BACKEND_NAMES))) from None
+    return cls(host_threads=host_threads)
+
+
+__all__ = [
+    "BACKEND_NAMES",
+    "ExecutionBackend",
+    "ParallelBackend",
+    "PipelinedBackend",
+    "SerialBackend",
+    "make_backend",
+]

@@ -1,0 +1,70 @@
+"""The ExecutionBackend protocol.
+
+A backend executes the work the engine layers describe:
+
+* ``run_bound_pass`` — one bound-phase pass over a list of cores, in
+  barrier wake order.  The pass must *behave as if* the cores ran one
+  after another in that order: cores share the scheduler and the memory
+  hierarchy, so the observable effect order is part of the simulated
+  semantics (it determines cache replacement state, futex handoffs, and
+  ultimately cycles).  Backends are free to use worker threads as long
+  as they preserve that effect order.
+* ``run_weave`` — one weave-phase interval.  The reference semantics is
+  the engine's earliest-first cooperative executor; backends may run
+  domains concurrently wherever the event graph proves independence.
+
+Lifecycle: ``start(sim)`` is called once when a :class:`~repro.core.ZSim`
+adopts the backend, ``shutdown()`` when a run finishes (worker threads
+must not leak across runs; backends restart lazily if reused).
+
+``sample_idle(metrics)`` is called once per interval when telemetry is
+attached so backends with real workers can report measured idle time
+(``exec.worker_idle_us``) instead of the serial backend's apportioned
+spans.
+"""
+
+from __future__ import annotations
+
+
+class ExecutionBackend:
+    """Base class/protocol for execution backends (see module docs)."""
+
+    #: Short name used by ``--backend`` and stats reporting.
+    name = "abstract"
+
+    # -- lifecycle -----------------------------------------------------
+
+    def start(self, sim):
+        """Adopt a simulator.  Called from ``ZSim.__init__``; resource
+        allocation (worker threads) should stay lazy so unused backends
+        cost nothing."""
+
+    def shutdown(self):
+        """Release host resources (join worker threads).  Idempotent;
+        a backend may be restarted lazily after shutdown."""
+
+    # -- bound phase ---------------------------------------------------
+
+    def run_bound_pass(self, bound, cores, limit_cycle, timings):
+        """Run one bound-phase pass over ``cores`` (wake order).
+
+        Must append ``(core_id, host_seconds)`` to ``timings`` in wake
+        order and return ``[(core, ran_to_limit)]``.  The default
+        delegates to the bound phase's inline reference pass.
+        """
+        return bound.run_pass(cores, limit_cycle, timings)
+
+    # -- weave phase ---------------------------------------------------
+
+    def run_weave(self, weave, traces):
+        """Execute one weave interval; returns ``{core_id: delay}``."""
+        return weave.run_interval(traces)
+
+    # -- observability -------------------------------------------------
+
+    def sample_idle(self, metrics):
+        """Record per-worker idle time into ``metrics`` (one histogram
+        sample per worker per interval).  No-op for inline backends."""
+
+    def __repr__(self):
+        return "%s(%r)" % (type(self).__name__, self.name)

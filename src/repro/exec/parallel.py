@@ -1,0 +1,315 @@
+"""The parallel backend: a worker pool over bound cores and weave domains.
+
+Determinism contract
+--------------------
+
+Backends must never change simulated results, only wall time.  Two
+mechanisms enforce that here:
+
+* **Bound phase — ordered handoff.**  Cores share the scheduler and the
+  memory hierarchy, so the *effect order* of core runs is simulated
+  semantics (cache replacement state, futex handoffs).  Work items are
+  dispatched to workers through bounded per-worker queues, but a ticket
+  turnstile makes core *i*'s simulation start only after core *i-1*'s
+  finished — the barrier's wake order, exactly as the serial backend
+  runs it.  On CPython the GIL would serialize the cores anyway; the
+  turnstile turns that accident into a guarantee, and on free-threaded
+  builds it is what keeps results bit-identical.
+
+* **Weave phase — independent batches.**  Per round, each domain may
+  execute the prefix of its queue that is provably independent: events
+  whose children all stay inside the domain, strictly below the
+  *horizon* (the earliest head cycle of any other crossing-emitting
+  domain).  In the serial order every event strictly below the horizon
+  executes before any emitter can run, so no delivery — even one whose
+  enqueue cycle lands in the past — can be interleaved ahead of the
+  batch; equal-cycle ties involve the serial tie-break (lowest domain
+  index first) and go through the sequential sync step instead.
+  Batches touch disjoint state (components and
+  event fields are domain-private by construction), so the per-domain
+  workers run them genuinely concurrently.  Events that *do* emit
+  domain crossings are the synchronization points: they execute one at
+  a time, globally earliest-first, the serial rule.  The per-component
+  ``occupy`` order — the only order simulated timing depends on — is
+  identical to the serial executor's.
+
+Wall-clock scaling on stock CPython is still bounded by the GIL (see
+docs/bound_weave.md); the worker/locking infrastructure is exercised
+continuously by the equivalence suite so free-threaded builds inherit a
+correct parallel engine.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+
+from repro.exec.backend import ExecutionBackend
+from repro.obs.tracer import TID_WORKER
+
+
+class _Turnstile:
+    """Ordered handoff: ticket *i* may proceed only after tickets
+    ``0..i-1`` advanced (the bound phase's wake-order discipline)."""
+
+    def __init__(self):
+        self._turn = 0
+        self._cond = threading.Condition()
+
+    def wait_for(self, ticket):
+        with self._cond:
+            while self._turn != ticket:
+                self._cond.wait()
+
+    def advance(self):
+        with self._cond:
+            self._turn += 1
+            self._cond.notify_all()
+
+
+class _Worker(threading.Thread):
+    """One pool worker: a bounded inbox of jobs plus idle accounting."""
+
+    QUEUE_DEPTH = 2
+
+    def __init__(self, index, pool_name):
+        super().__init__(name="%s-worker%d" % (pool_name, index),
+                         daemon=True)
+        self.index = index
+        self.inbox = queue.Queue(maxsize=self.QUEUE_DEPTH)
+        #: Microseconds spent waiting for work (and, for bound items,
+        #: waiting for the turnstile) since the last ``take_idle_us``.
+        self.idle_us = 0.0
+        self.jobs_run = 0
+
+    def run(self):
+        while True:
+            t0 = time.perf_counter()
+            job = self.inbox.get()
+            self.idle_us += (time.perf_counter() - t0) * 1e6
+            if job is None:
+                return
+            fn, done, errors = job
+            try:
+                fn(self.index)
+            except BaseException as exc:  # propagate to the coordinator
+                errors.append(exc)
+            finally:
+                self.jobs_run += 1
+                done.release()
+
+    def take_idle_us(self):
+        idle, self.idle_us = self.idle_us, 0.0
+        return idle
+
+
+def _emits_crossing(event):
+    """True when executing ``event`` would deliver to another domain —
+    the weave phase's only synchronization points."""
+    domain = event.domain
+    for child, _gap in event.children:
+        if child.domain != domain:
+            return True
+    return False
+
+
+class ParallelBackend(ExecutionBackend):
+    """Worker-pool execution of bound cores and weave domains."""
+
+    name = "parallel"
+
+    def __init__(self, host_threads=None):
+        self.host_threads = host_threads
+        self._workers = []
+        self._sim = None
+
+    # -- lifecycle -----------------------------------------------------
+
+    def start(self, sim):
+        self._sim = sim
+        if self.host_threads is None:
+            self.host_threads = max(
+                1, sim.config.boundweave.host_threads)
+
+    def shutdown(self):
+        workers, self._workers = self._workers, []
+        for worker in workers:
+            worker.inbox.put(None)
+        for worker in workers:
+            worker.join()
+
+    def _ensure_pool(self, want):
+        """Grow the pool (lazily) to min(want, host_threads) workers."""
+        want = max(1, min(want, self.host_threads or 1))
+        telem = getattr(self._sim, "_telem", None)
+        tracer = telem.tracer if telem is not None else None
+        while len(self._workers) < want:
+            worker = _Worker(len(self._workers), self.name)
+            if tracer is not None:
+                tracer.name_track(TID_WORKER + worker.index,
+                                  "%s worker%d" % (self.name,
+                                                   worker.index))
+            worker.start()
+            self._workers.append(worker)
+        return self._workers
+
+    def _run_jobs(self, jobs):
+        """Dispatch ``(worker_index, fn)`` jobs through the bounded
+        inboxes; block until all complete; re-raise the first error."""
+        done = threading.Semaphore(0)
+        errors = []
+        for index, fn in jobs:
+            self._workers[index].inbox.put((fn, done, errors))
+        for _ in jobs:
+            done.acquire()
+        if errors:
+            raise errors[0]
+
+    # -- bound phase ---------------------------------------------------
+
+    def run_bound_pass(self, bound, cores, limit_cycle, timings):
+        workers = self._ensure_pool(len(cores))
+        num_workers = len(workers)
+        if num_workers <= 1 or len(cores) <= 1:
+            return bound.run_pass(cores, limit_cycle, timings)
+        turnstile = _Turnstile()
+        slots = [None] * len(cores)
+
+        def make_job(ticket, core):
+            def job(worker_index):
+                wait0 = time.perf_counter()
+                turnstile.wait_for(ticket)
+                start = time.perf_counter()
+                # Waiting for the handoff is idle time, not work.
+                workers[worker_index].idle_us += (start - wait0) * 1e6
+                try:
+                    ran = bound._run_core(core, limit_cycle)
+                    slots[ticket] = (ran, start, time.perf_counter(),
+                                     worker_index)
+                finally:
+                    turnstile.advance()
+            return job
+
+        self._run_jobs([(ticket % num_workers, make_job(ticket, core))
+                        for ticket, core in enumerate(cores)])
+        telem = bound._telem
+        tracer = telem.tracer if telem is not None else None
+        outcomes = []
+        for core, slot in zip(cores, slots):
+            ran, start, end, worker_index = slot
+            timings.append((core.core_id, end - start))
+            if telem is not None:
+                bound._trace_core_run(core.core_id, start, end)
+            if tracer is not None:
+                tracer.complete_raw(
+                    "core%d" % core.core_id, "exec", start, end,
+                    TID_WORKER + worker_index,
+                    {"interval": bound.intervals})
+            outcomes.append((core, ran))
+        return outcomes
+
+    # -- weave phase ---------------------------------------------------
+
+    def run_weave(self, weave, traces):
+        return weave.run_interval(
+            traces, executor=lambda events: self._execute_weave(weave,
+                                                                events))
+
+    def _execute_weave(self, weave, events):
+        domains = weave.domains
+        # The journal needs the global execution order, and crossing
+        # probes (the ablation) read other domains' clocks: both force
+        # the reference executor.  One domain has nothing to overlap.
+        if (weave.journal is not None or not weave.crossing_deps
+                or len(domains) <= 1):
+            weave._execute(events)
+            return
+        weave.seed_queues(events)
+        workers = self._ensure_pool(len(domains))
+        num_workers = len(workers)
+        telem = weave._telem
+        tracer = telem.tracer if telem is not None else None
+        # Only domains holding crossing-emitting events can ever deliver
+        # into another domain this interval; only they constrain other
+        # domains' batch horizons.  (A domain's own future emitters don't
+        # need the horizon: its batch stops at the first one it meets.)
+        emitter = [False] * len(domains)
+        for event in events:
+            if not emitter[event.domain] and _emits_crossing(event):
+                emitter[event.domain] = True
+        while True:
+            jobs = []
+            for domain in domains:
+                head_cycle = domain.head_cycle()
+                if head_cycle is None:
+                    continue
+                horizon = None
+                for other in domains:
+                    if other is domain or not emitter[other.domain_id]:
+                        continue
+                    other_head = other.head_cycle()
+                    if other_head is not None and (horizon is None
+                                                   or other_head < horizon):
+                        horizon = other_head
+                # Strictly below the horizon: at equal cycles the serial
+                # tie-break (lowest domain index) may run the emitter
+                # first, and its delivery can land at or below that
+                # cycle — those ties go through the sync step.
+                if horizon is not None and head_cycle >= horizon:
+                    continue
+                if _emits_crossing(domain.head_item()):
+                    continue
+                jobs.append((domain.domain_id % num_workers,
+                             self._batch_job(weave, domain, horizon,
+                                             tracer)))
+            if jobs:
+                self._run_jobs(jobs)
+                continue
+            # Synchronization point: the globally earliest event (it
+            # emits domain crossings, or every queue is past another's
+            # horizon) executes under the serial rule.
+            best = None
+            best_cycle = None
+            for domain in domains:
+                head = domain.head_cycle()
+                if head is not None and (best_cycle is None
+                                         or head < best_cycle):
+                    best_cycle = head
+                    best = domain
+            if best is None:
+                return
+            cycle, event = best.pop()
+            weave._run_event(best, cycle, event)
+
+    @staticmethod
+    def _batch_job(weave, domain, horizon, tracer):
+        """One domain's independent batch: local events up to the
+        horizon whose children stay inside the domain."""
+        def job(worker_index):
+            start = time.perf_counter()
+            executed = 0
+            while True:
+                head_cycle = domain.head_cycle()
+                if head_cycle is None or (horizon is not None
+                                          and head_cycle >= horizon):
+                    break
+                head = domain.head_item()
+                if _emits_crossing(head):
+                    break
+                cycle, event = domain.pop()
+                weave._run_event(domain, cycle, event)
+                executed += 1
+            if tracer is not None and executed:
+                tracer.complete_raw(
+                    "domain%d batch" % domain.domain_id, "exec", start,
+                    time.perf_counter(), TID_WORKER + worker_index,
+                    {"events": executed})
+        return job
+
+    # -- observability -------------------------------------------------
+
+    def sample_idle(self, metrics):
+        for worker in self._workers:
+            metrics.histogram("exec.worker_idle_us").record(
+                int(worker.take_idle_us()))

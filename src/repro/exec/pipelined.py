@@ -1,0 +1,122 @@
+"""The pipelined backend: bound and weave as two pipeline stages.
+
+The paper's stated future work is to pipeline the bound and weave
+phases: interval *k*'s weave overlaps interval *k+1*'s bound, so
+steady-state wall time per interval is ``max(bound, weave)`` instead of
+their sum (``HostModel.pipelined_*`` models exactly that).
+
+This backend builds the pipeline's machinery — the bound phase runs on
+the driver thread while a dedicated weave-stage thread consumes interval
+jobs from a bounded queue — but keeps a **feedback barrier**: interval
+*k*'s weave delays feed interval *k+1*'s core clocks (and the next
+interval limit), so the driver waits for the stage before starting the
+next bound phase.  That barrier is what preserves the engine's
+serial-equivalence guarantee; relaxing it (applying weave feedback one
+interval late) is the lever a real pipelined build would pull, and it
+would change simulated results — which is why it is not the default and
+why the equivalence suite would catch anyone flipping it silently.
+
+The practical consequence on stock CPython: the measured speedup stays
+~1x while ``HostModel.pipelined_speedup`` reports what the overlap
+would buy.  ``benchmarks/bench_backend_scaling.py`` records exactly that
+measured-vs-modeled gap.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+
+from repro.exec.backend import ExecutionBackend
+from repro.obs.tracer import TID_WORKER
+
+#: Track index (within the worker lane block) of the weave stage thread.
+WEAVE_STAGE_TRACK = 99
+
+
+class PipelinedBackend(ExecutionBackend):
+    """Two-stage bound/weave pipeline with a bounded handoff queue."""
+
+    name = "pipelined"
+
+    #: Depth of the stage queue: how many weave intervals may be queued
+    #: behind the one executing.  Depth 1 is the paper's two-stage
+    #: pipeline.
+    QUEUE_DEPTH = 1
+
+    def __init__(self, host_threads=None):
+        self.host_threads = host_threads
+        self._sim = None
+        self._jobs = None
+        self._thread = None
+        #: Microseconds the weave stage spent waiting for work.
+        self._stage_idle_us = 0.0
+
+    # -- lifecycle -----------------------------------------------------
+
+    def start(self, sim):
+        self._sim = sim
+
+    def shutdown(self):
+        thread, self._thread = self._thread, None
+        if thread is not None:
+            self._jobs.put(None)
+            thread.join()
+            self._jobs = None
+
+    def _ensure_stage(self):
+        if self._thread is None:
+            self._jobs = queue.Queue(maxsize=self.QUEUE_DEPTH)
+            self._thread = threading.Thread(
+                target=self._stage_loop, name="pipelined-weave-stage",
+                daemon=True)
+            telem = getattr(self._sim, "_telem", None)
+            if telem is not None and telem.tracer is not None:
+                telem.tracer.name_track(TID_WORKER + WEAVE_STAGE_TRACK,
+                                        "weave stage")
+            self._thread.start()
+
+    def _stage_loop(self):
+        while True:
+            t0 = time.perf_counter()
+            job = self._jobs.get()
+            self._stage_idle_us += (time.perf_counter() - t0) * 1e6
+            if job is None:
+                return
+            weave, traces, slot = job
+            start = time.perf_counter()
+            try:
+                slot["delays"] = weave.run_interval(traces)
+            except BaseException as exc:
+                slot["error"] = exc
+            finally:
+                slot["end"] = time.perf_counter()
+                slot["start"] = start
+                slot["done"].set()
+
+    # -- phases --------------------------------------------------------
+
+    def run_weave(self, weave, traces):
+        self._ensure_stage()
+        slot = {"done": threading.Event()}
+        self._jobs.put((weave, traces, slot))
+        # Feedback barrier (see module docs): interval k's delays feed
+        # interval k+1's bound phase, so the driver must wait here.
+        slot["done"].wait()
+        telem = weave._telem
+        if telem is not None and telem.tracer is not None:
+            telem.tracer.complete_raw(
+                "weave interval", "exec", slot["start"], slot["end"],
+                TID_WORKER + WEAVE_STAGE_TRACK)
+        error = slot.get("error")
+        if error is not None:
+            raise error
+        return slot["delays"]
+
+    # -- observability -------------------------------------------------
+
+    def sample_idle(self, metrics):
+        if self._thread is not None:
+            idle, self._stage_idle_us = self._stage_idle_us, 0.0
+            metrics.histogram("exec.worker_idle_us").record(int(idle))

@@ -1,0 +1,30 @@
+"""The serial backend: everything inline on the calling thread.
+
+This is the default and the reference: for one seed it is bit-identical
+to the engine before the backend layer existed, because both hooks are
+straight delegations to the engine's own inline paths.  Telemetry keeps
+the apportioned per-domain weave spans (the engine interleaves domains
+on one host thread, so real per-worker spans do not exist here).
+"""
+
+from __future__ import annotations
+
+from repro.exec.backend import ExecutionBackend
+
+
+class SerialBackend(ExecutionBackend):
+    """Inline execution; the reference semantics for every other
+    backend (see the equivalence suite in tests/test_exec_backends.py)."""
+
+    name = "serial"
+
+    def __init__(self, host_threads=None):
+        # Accepted for interface symmetry; a serial backend has exactly
+        # one (the calling) host thread.
+        self.host_threads = 1
+
+    def run_bound_pass(self, bound, cores, limit_cycle, timings):
+        return bound.run_pass(cores, limit_cycle, timings)
+
+    def run_weave(self, weave, traces):
+        return weave.run_interval(traces)

@@ -15,8 +15,10 @@ barriers, and scheduler events.  Two export formats:
 Timestamps are microseconds relative to tracer creation, the unit the
 trace-event spec requires.  Track ids (``tid``) partition the timeline
 into lanes: 0 is the simulator main loop, ``TID_CORE + n`` the bound
-phase of core *n*, ``TID_DOMAIN + d`` weave domain *d*, and
-``TID_SCHED`` the scheduler.
+phase of core *n*, ``TID_DOMAIN + d`` weave domain *d*, ``TID_SCHED``
+the scheduler, and ``TID_WORKER + w`` execution-backend worker *w*
+(real per-worker spans, as opposed to the apportioned per-domain
+shares the serial backend records).
 """
 
 from __future__ import annotations
@@ -30,6 +32,7 @@ TID_MAIN = 0
 TID_SCHED = 1
 TID_CORE = 1000
 TID_DOMAIN = 2000
+TID_WORKER = 3000
 
 
 class Tracer:

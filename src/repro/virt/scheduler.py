@@ -8,9 +8,19 @@ the interval barrier (their core can run another thread or idle) and
 
 All decisions are made in simulated (bound-phase) cycles, so scheduling
 is deterministic for a given workload and configuration.
+
+Execution backends may run bound-phase cores on worker threads (see
+:mod:`repro.exec`); every mutating entry point therefore takes the
+scheduler lock so a thread handoff (syscall, wake, preemption,
+deschedule) is atomic even when the caller is not the engine's driver
+thread.  The backends' ordered core handoff keeps the *order* of these
+calls serial-equivalent; the lock keeps each call internally consistent
+on free-threaded hosts.
 """
 
 from __future__ import annotations
+
+import threading
 
 from collections import deque
 
@@ -20,6 +30,18 @@ from repro.virt.process import SimThread, ThreadState
 from repro.virt import syscalls as sc
 
 _log = get_logger("virt.scheduler")
+
+
+def _locked(method):
+    """Run a scheduler entry point under the scheduler lock (see module
+    docs: backends may call in from worker threads)."""
+    import functools
+
+    @functools.wraps(method)
+    def wrapper(self, *args, **kwargs):
+        with self._lock:
+            return method(self, *args, **kwargs)
+    return wrapper
 
 
 class SyscallResult:
@@ -35,6 +57,9 @@ class Scheduler:
                  system_view=None, telemetry=None):
         self.num_cores = num_cores
         self._telem = telemetry
+        # Reentrant: handle_syscall wakes waiters, which re-enter
+        # internal helpers under the same lock.
+        self._lock = threading.RLock()
         self.quantum = quantum
         self.syscall_overhead = syscall_overhead
         #: Optional SystemView serving virtualized /proc reads.
@@ -60,6 +85,7 @@ class Scheduler:
     # Thread management
     # ------------------------------------------------------------------
 
+    @_locked
     def add_thread(self, thread):
         if not isinstance(thread, SimThread):
             raise TypeError("add_thread expects a SimThread")
@@ -80,6 +106,7 @@ class Scheduler:
         self._run_queue.append(thread)
         return thread
 
+    @_locked
     def pick_thread(self, core_id, cycle):
         """Pop the next runnable thread for ``core_id``: its own homed
         threads first (FIFO); a foreign thread may be stolen only when
@@ -128,6 +155,7 @@ class Scheduler:
         if telem.metrics is not None:
             telem.metrics.inc("sched.%s" % kind)
 
+    @_locked
     def reattach(self, core_id, thread):
         """Put a thread back on its core after a non-blocking syscall."""
         thread.state = ThreadState.RUNNING
@@ -137,6 +165,7 @@ class Scheduler:
     def running_thread(self, core_id):
         return self._running[core_id]
 
+    @_locked
     def deschedule(self, core_id, cycle=None):
         """Remove the running thread from a core (it keeps its state);
         with ``cycle``, the thread's CPU time is credited."""
@@ -149,6 +178,7 @@ class Scheduler:
                 thread.run_start_cycle = cycle
         return thread
 
+    @_locked
     def preempt_if_due(self, core_id, cycle):
         """Round-robin: preempt the core's thread at a quantum boundary
         when other runnable threads are waiting.  Returns the preempted
@@ -169,6 +199,7 @@ class Scheduler:
                               {"core": core_id, "cycle": cycle})
         return thread
 
+    @_locked
     def runnable_count(self, cycle=None):
         if cycle is not None:
             self._wake_sleepers(cycle)
@@ -187,11 +218,13 @@ class Scheduler:
         return bool(self._run_queue or self._sleepers
                     or any(t is not None for t in self._running))
 
+    @_locked
     def wake_sleepers_until(self, cycle):
         """Move sleepers due by ``cycle`` onto the run queue (used by the
         bound phase's second-chance pass within an interval)."""
         self._wake_sleepers(cycle)
 
+    @_locked
     def next_wake_cycle(self):
         """Earliest sleeper wake-up, or None (deadlock detection)."""
         if not self._sleepers:
@@ -202,6 +235,7 @@ class Scheduler:
     # Syscall handling
     # ------------------------------------------------------------------
 
+    @_locked
     def handle_syscall(self, thread, syscall, cycle):
         """Apply ``syscall`` issued by ``thread`` at ``cycle``.  Returns a
         :class:`SyscallResult` value."""
@@ -282,6 +316,7 @@ class Scheduler:
             return SyscallResult.CONTINUE
         raise TypeError("Unknown syscall: %r" % (syscall,))
 
+    @_locked
     def thread_done(self, thread):
         thread.state = ThreadState.DONE
 

@@ -1,12 +1,10 @@
 """Tests for the baselines: reference machine, TLB model, PDES, Graphite."""
 
-import pytest
 
 from repro.baselines.graphite import graphite_simulator
 from repro.baselines.pdes import PDESSimulator
 from repro.baselines.reference import reference_simulator
 from repro.baselines.tlb import PAGE_BITS, TLB, TLBMemory
-from repro.config import small_test_system
 from repro.core import ZSim
 from repro.memory.contention import MD1Model
 from repro.memory.hierarchy import MemoryHierarchy

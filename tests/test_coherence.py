@@ -6,7 +6,6 @@ meaningfully tested in isolation from inclusion and the directory).
 
 import random
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

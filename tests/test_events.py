@@ -1,7 +1,7 @@
 """Tests for weave events, the event pool, and domains."""
 
 from repro.core.domains import CoreWeave, Domain, assign_domains
-from repro.core.events import EventPool, WeaveEvent
+from repro.core.events import EventPool
 from repro.memory.weave import CacheBankWeave
 
 

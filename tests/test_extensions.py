@@ -21,7 +21,7 @@ from repro.harness.autointerval import (
 from repro.memory.hierarchy import MemoryHierarchy
 from repro.memory.prefetcher import StridePrefetcher
 from repro.stats.ascii_plot import line_plot, scatter_plot
-from repro.workloads import mt_workload, spec_workload
+from repro.workloads import spec_workload
 from repro.workloads.base import KernelSpec, Workload
 
 

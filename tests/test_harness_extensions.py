@@ -222,7 +222,6 @@ class TestPipelineInvariants:
     def test_uop_stage_ordering(self):
         """dispatch <= exec < done <= retire for every µop, and retire
         cycles are monotone (in-order retirement)."""
-        from conftest import stream_of
         from repro.workloads.base import KernelProgram
 
         kprog = KernelProgram(KernelSpec(name="pipe", seed=4,

@@ -3,7 +3,6 @@ end-to-end invariants."""
 
 import dataclasses
 
-import pytest
 
 from repro.config import tiled_chip
 from repro.core import ZSim

@@ -1,6 +1,5 @@
 """Tests for the client-server and managed-runtime workload builders."""
 
-import pytest
 
 from repro.config import small_test_system, westmere
 from repro.core import ZSim

@@ -4,7 +4,6 @@ import dataclasses
 
 import pytest
 
-from repro.config import small_test_system
 from repro.core import InterferenceProfiler, ZSim
 from repro.virt.process import SimThread
 from repro.workloads.base import KernelSpec, Workload

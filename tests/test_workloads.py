@@ -13,7 +13,6 @@ from repro.workloads.base import (
     PRIVATE_BASE,
     PRIVATE_STRIDE,
     SHARED_BASE,
-    Workload,
     kernel_stream,
 )
 from repro.workloads.multithreaded import (
