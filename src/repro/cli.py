@@ -9,17 +9,28 @@ Subcommands:
 * ``table1`` — print the simulator comparison matrix.
 * ``experiment`` — run one of the paper's experiments at a chosen scale
   (the benchmarks drive the same harness under pytest).
+
+``run`` carries the resilience layer's flags (see docs/resilience.md):
+``--supervise``, ``--watchdog-budget``, ``--checkpoint-dir`` /
+``--checkpoint-every`` / ``--resume``, ``--max-wall-seconds``, and the
+fault-injection harness ``--inject-faults``.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 
 from repro.config import small_test_system, tiled_chip, westmere
 from repro.config.loader import load_config
 from repro.core.simulator import CONTENTION_MODELS, ZSim
+from repro.errors import WallClockExceeded
 from repro.exec import BACKEND_NAMES
+
+#: Exit status for a run that stopped on ``--max-wall-seconds`` (the
+#: conventional "temporary failure; retry later" code).
+EXIT_WALL_BUDGET = 75
 
 PRESETS = {
     "westmere": lambda cores: westmere(num_cores=cores or 6),
@@ -85,6 +96,56 @@ def _write_telemetry(args, telemetry):
         print("interval samples written to %s" % args.metrics_csv)
 
 
+def _run_meta(args, workload, threads):
+    """Identity of a run, recorded in checkpoints and verified on
+    resume: the stream fast-forward is only sound when the resuming
+    process rebuilds the *same* workload."""
+    return {"workload": workload.name, "scale": args.scale,
+            "instrs": args.instrs, "threads": len(threads),
+            "contention": args.contention}
+
+
+def _resume_sim(args, meta, threads, telemetry):
+    from repro.resilience import latest, read_checkpoint
+    path = args.resume
+    if os.path.isdir(path):
+        path = latest(path)
+        if path is None:
+            raise SystemExit("no checkpoints in %s" % args.resume)
+    capsule = read_checkpoint(path)
+    saved_meta = capsule.get("meta") or {}
+    if saved_meta and saved_meta != meta:
+        diffs = ["%s: checkpoint=%r, flags=%r" % (k, saved_meta.get(k),
+                                                  meta.get(k))
+                 for k in sorted(set(saved_meta) | set(meta))
+                 if saved_meta.get(k) != meta.get(k)]
+        raise SystemExit(
+            "checkpoint %s was written by a different run (%s); resume "
+            "needs the original workload flags" % (path, "; ".join(diffs)))
+    print("resuming from %s (interval %d)" % (path, capsule["interval"]))
+    return ZSim.resume(capsule, threads, backend=args.backend,
+                       telemetry=telemetry)
+
+
+def _setup_resilience(args, sim, meta):
+    """Wire the resilience layer onto a built simulator from run
+    flags."""
+    from repro.resilience import Checkpointer, FaultPlan, Supervisor
+    if args.watchdog_budget:
+        sim.backend.watchdog_budget = args.watchdog_budget
+    if args.inject_faults:
+        sim.backend.fault_plan = FaultPlan.parse(args.inject_faults)
+    if args.supervise or args.inject_faults:
+        Supervisor(sim,
+                   max_retries=sim.config.boundweave.recovery_max_retries)
+    if args.checkpoint_dir:
+        sim.checkpointer = Checkpointer(args.checkpoint_dir,
+                                        every=args.checkpoint_every,
+                                        meta=meta)
+    if args.max_wall_seconds:
+        sim.max_wall_seconds = args.max_wall_seconds
+
+
 def cmd_run(args):
     if args.log_level:
         from repro.obs import configure_logging
@@ -95,12 +156,32 @@ def cmd_run(args):
         target_instrs=args.instrs,
         num_threads=args.threads or workload.num_threads)
     telemetry = _make_telemetry(args)
-    sim = ZSim(config, threads=threads, contention_model=args.contention,
-               telemetry=telemetry, backend=args.backend)
-    result = sim.run()
+    meta = _run_meta(args, workload, threads)
+    if args.resume:
+        sim = _resume_sim(args, meta, threads, telemetry)
+    else:
+        sim = ZSim(config, threads=threads,
+                   contention_model=args.contention,
+                   telemetry=telemetry, backend=args.backend)
+    _setup_resilience(args, sim, meta)
+    try:
+        result = sim.run()
+    except WallClockExceeded as exc:
+        print("stopped: %s" % exc)
+        if exc.checkpoint_path:
+            print("resume with: repro run --resume %s <original flags>"
+                  % exc.checkpoint_path)
+        return EXIT_WALL_BUDGET
+    config = sim.config  # the capsule's config when resuming
     print("workload %s on %s (%d cores, %s, %s contention, %s backend)"
           % (workload.name, config.name, config.num_cores,
-             config.core.model, args.contention, sim.backend.name))
+             config.core.model, sim.contention_model, sim.backend.name))
+    if sim.supervisor is not None and sim.supervisor.summary()["recoveries"]:
+        summary = sim.supervisor.summary()
+        print("  recovered from %d execution fault(s)%s"
+              % (summary["recoveries"],
+                 " — fell back to the serial backend permanently"
+                 if summary["fallback_permanent"] else ""))
     print("  instrs  : %d" % result.instrs)
     print("  cycles  : %d" % result.cycles)
     print("  IPC     : %.3f" % result.ipc)
@@ -250,6 +331,33 @@ def build_parser():
     run.add_argument("--log-level", default=None,
                      choices=("debug", "info", "warning", "error"),
                      help="enable structured logging at this level")
+    run.add_argument("--supervise", action="store_true",
+                     help="supervised execution: recover from backend "
+                          "faults by replaying the interval serially "
+                          "(implied by --inject-faults)")
+    run.add_argument("--watchdog-budget", type=float, default=None,
+                     metavar="SECONDS",
+                     help="seconds of no worker progress before a pass "
+                          "raises WatchdogTimeout (overrides "
+                          "boundweave.watchdog_budget_s)")
+    run.add_argument("--checkpoint-dir", default=None, metavar="DIR",
+                     help="write interval checkpoints to DIR")
+    run.add_argument("--checkpoint-every", type=int, default=1,
+                     metavar="N",
+                     help="checkpoint stride in intervals (default 1)")
+    run.add_argument("--resume", default=None, metavar="PATH",
+                     help="resume from a checkpoint file, or from the "
+                          "latest checkpoint in a directory; requires "
+                          "the original workload flags")
+    run.add_argument("--max-wall-seconds", type=float, default=None,
+                     metavar="SECONDS",
+                     help="stop (exit %d) after this much wall time, "
+                          "checkpointing first when --checkpoint-dir "
+                          "is set" % EXIT_WALL_BUDGET)
+    run.add_argument("--inject-faults", default=None, metavar="PLAN",
+                     help="deterministic fault plan, e.g. "
+                          "'kill@3:w0;corrupt@5:d1' (see "
+                          "docs/resilience.md); enables supervision")
     run.set_defaults(func=cmd_run)
 
     val = sub.add_parser("validate",

@@ -13,6 +13,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional
 
+from repro.errors import ConfigError
+
 
 @dataclass
 class BranchPredictorConfig:
@@ -146,6 +148,12 @@ class BoundWeaveConfig:
     #: Execution backend: how the engine runs on the host (see
     #: repro.exec).  All backends produce identical simulated results.
     backend: str = "serial"
+    #: Watchdog: seconds of no worker progress before a pass raises a
+    #: typed WatchdogTimeout (see repro.resilience).  0 disables.
+    watchdog_budget_s: float = 0.0
+    #: Supervisor: consecutive faulted intervals tolerated before the
+    #: run permanently falls back to the serial backend.
+    recovery_max_retries: int = 3
 
 
 @dataclass
@@ -185,24 +193,30 @@ class SystemConfig:
         return self.num_tiles * self.cores_per_tile
 
     def validate(self):
-        """Check internal consistency; raise ValueError on bad configs."""
+        """Check internal consistency.  Raises
+        :class:`~repro.errors.ConfigError` (a ValueError subclass, so
+        pre-existing ``except ValueError`` callers keep working)."""
         if self.num_tiles < 1 or self.cores_per_tile < 1:
-            raise ValueError("System needs at least one core")
+            raise ConfigError("System needs at least one core")
         for cache in (self.l1i, self.l1d):
             if cache is None:
-                raise ValueError("L1 caches are mandatory")
+                raise ConfigError("L1 caches are mandatory")
         line = self.l1d.line_bytes
         for cache in (self.l1i, self.l1d, self.l2, self.l3):
             if cache is not None and cache.line_bytes != line:
-                raise ValueError("All caches must share one line size")
+                raise ConfigError("All caches must share one line size")
             if cache is not None:
                 cache.num_sets  # raises if geometry is inconsistent
         if self.boundweave.interval_cycles < 10:
-            raise ValueError("Interval too short")
+            raise ConfigError("Interval too short")
         if self.boundweave.backend not in ("serial", "parallel",
                                            "pipelined"):
-            raise ValueError("Unknown execution backend: %r"
-                             % (self.boundweave.backend,))
+            raise ConfigError("Unknown execution backend: %r"
+                              % (self.boundweave.backend,))
+        if self.boundweave.watchdog_budget_s < 0:
+            raise ConfigError("watchdog_budget_s must be >= 0")
+        if self.boundweave.recovery_max_retries < 1:
+            raise ConfigError("recovery_max_retries must be >= 1")
         return self
 
     def core_tile(self, core_id):

@@ -12,6 +12,8 @@ from __future__ import annotations
 
 import heapq
 
+from repro.errors import HorizonViolation
+
 
 class Domain:
     """One weave domain: an event priority queue with its own clock."""
@@ -24,6 +26,12 @@ class Domain:
         self.events_executed = 0
         self.crossings = 0
         self.crossing_requeues = 0
+        #: Horizon invariant floor: within one interval, every push lands
+        #: at or above the cycle of the pop that caused it, so per-domain
+        #: pops are nondecreasing in *every* legal execution (serial
+        #: earliest-first, parallel batches, sync steps).  A pop below
+        #: the floor means a corrupt timestamp or a broken executor.
+        self._pop_floor = None
 
     def push(self, cycle, item):
         self._seq += 1
@@ -31,6 +39,15 @@ class Domain:
 
     def pop(self):
         cycle, _seq, item = heapq.heappop(self._queue)
+        floor = self._pop_floor
+        if floor is not None and cycle < floor:
+            raise HorizonViolation(
+                "domain %d popped an event at cycle %d below its "
+                "interval floor %d: corrupt event timestamp or broken "
+                "horizon discipline" % (self.domain_id, cycle, floor),
+                cycle=cycle, floor=floor, phase="weave",
+                domain=self.domain_id)
+        self._pop_floor = cycle
         if cycle > self.current_cycle:
             self.current_cycle = cycle
         return cycle, item
@@ -51,6 +68,9 @@ class Domain:
         self.events_executed = 0
         self.crossings = 0
         self.crossing_requeues = 0
+        # New interval, new floor: delays from a congested interval may
+        # legitimately exceed the next interval's earliest timestamps.
+        self._pop_floor = None
 
     def __repr__(self):
         return "Domain(%d, %d queued)" % (self.domain_id, len(self._queue))

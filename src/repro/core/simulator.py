@@ -15,6 +15,7 @@ import time
 
 from repro.core.bound import BoundPhase
 from repro.core.domains import CoreWeave
+from repro.errors import CheckpointError, DeadlockError, WallClockExceeded
 from repro.core.host import HostModel
 from repro.core.weave import WeaveEngine
 from repro.cpu import make_core
@@ -92,6 +93,9 @@ class SimulationResult:
         self.uops = sum(core.uops for core in sim.cores)
         self.cycles = max((core.cycle for core in sim.cores), default=0)
         self.intervals = sim.bound.intervals
+        supervisor = getattr(sim, "supervisor", None)
+        self.resilience = (supervisor.summary()
+                           if supervisor is not None else None)
 
     @property
     def mips(self):
@@ -134,7 +138,15 @@ class SimulationResult:
         for core in self.cores:
             core.fill_stats(root.child("core%d" % core.core_id))
         self.hierarchy.fill_stats(root.child("mem"))
-        self.host_model.fill_stats(root.child("host"))
+        host = root.child("host")
+        self.host_model.fill_stats(host)
+        if self.resilience:
+            # Host-side supervision counters live under host/ so stats
+            # comparisons that exclude host wall-clock noise exclude
+            # recovery bookkeeping with it.
+            node = host.child("resilience")
+            for key, value in sorted(self.resilience.items()):
+                node.set(key, value)
         if self.weave_stats is not None:
             weave = root.child("weave")
             weave.set("intervals", self.weave_stats.intervals)
@@ -215,6 +227,15 @@ class ZSim:
         self.backend = backend
         self.backend.start(self)
         self.host_model.backend_name = self.backend.name
+        if getattr(bw, "watchdog_budget_s", 0.0):
+            self.backend.watchdog_budget = bw.watchdog_budget_s
+        #: Resilience layer hooks (see repro.resilience): a Supervisor
+        #: attaches itself here; a Checkpointer/wall budget is installed
+        #: by the harness.  All optional; None means unsupervised.
+        self.supervisor = None
+        self.checkpointer = None
+        self.max_wall_seconds = None
+        self._resume = None
         #: Periodic stats sampling (zsim's periodic HDF5 dumps): every
         #: N intervals a (cycle, instrs) sample is appended.
         self.stats_period_intervals = stats_period_intervals
@@ -261,26 +282,32 @@ class ZSim:
         tracer = telem.tracer if telem is not None else None
         metrics = telem.metrics if telem is not None else None
         interval = self.config.boundweave.interval_cycles
-        scheduler = self.scheduler
         limit = interval
         _log.info("run start: %s, %d cores, %s contention, interval %d",
                   self.config.name, self.config.num_cores,
                   self.contention_model, interval)
         start_wall = time.perf_counter()
         intervals_run = 0
+        if self._resume is not None:
+            # Restored from a checkpoint: continue the interval loop
+            # exactly where the checkpointed run left off.
+            intervals_run, limit = self._resume
+            self._resume = None
+            _log.info("resuming at interval %d (limit cycle %d)",
+                      intervals_run, limit)
         try:
-            while not self._done(scheduler, intervals_run, max_instrs,
-                                 max_cycles, max_intervals):
-                bound_start = time.perf_counter()
-                bound_times = self.bound.run_interval(
-                    limit, backend=self.backend)
-                bound_end = time.perf_counter()
-                weave_seconds, domain_events = self._weave_interval()
-                self.host_model.record_interval(
-                    bound_times, domain_events, weave_seconds,
-                    measured_seconds=(bound_end - bound_start)
-                    + weave_seconds)
-                self.bound.preempt(limit)
+            # Always dereference self.scheduler inside the loop: a
+            # resilience restore swaps the simulator's __dict__, so any
+            # captured subsystem reference would go stale.
+            while not self._done(self.scheduler, intervals_run,
+                                 max_instrs, max_cycles, max_intervals):
+                self._check_wall_budget(start_wall, intervals_run, limit)
+                if self.supervisor is not None:
+                    outcome = self.supervisor.run_interval(limit)
+                else:
+                    outcome = self._execute_interval(limit)
+                bound_start, bound_end, weave_seconds, domain_events = \
+                    outcome
                 intervals_run += 1
                 if (self.stats_period_intervals
                         and intervals_run % self.stats_period_intervals
@@ -294,6 +321,11 @@ class ZSim:
                         bound_start, bound_end, weave_seconds,
                         domain_events)
                 limit = self._advance_limit(limit, interval)
+                if self.checkpointer is not None:
+                    # After _advance_limit so the capsule records the
+                    # next interval's limit (what resume continues with).
+                    self.checkpointer.maybe_save(self, intervals_run,
+                                                 limit)
         finally:
             self.backend.shutdown()
         wall = time.perf_counter() - start_wall
@@ -302,6 +334,47 @@ class ZSim:
                   "%.3f s wall (%.3f MIPS)", result.instrs, result.cycles,
                   intervals_run, wall, result.mips)
         return result
+
+    def _execute_interval(self, limit, backend=None):
+        """One interval of the bound-weave loop: bound passes to the
+        limit cycle, weave phase with contention feedback, host-model
+        accounting, and the barrier preemption sweep.  ``backend``
+        overrides the configured backend (the resilience supervisor
+        passes the serial reference for degraded re-runs).  Returns the
+        ``(bound_start, bound_end, weave_seconds, domain_events)``
+        telemetry tuple."""
+        if backend is None:
+            backend = self.backend
+        bound_start = time.perf_counter()
+        bound_times = self.bound.run_interval(limit, backend=backend)
+        bound_end = time.perf_counter()
+        weave_seconds, domain_events = self._weave_interval(backend)
+        self.host_model.record_interval(
+            bound_times, domain_events, weave_seconds,
+            measured_seconds=(bound_end - bound_start) + weave_seconds)
+        self.bound.preempt(limit)
+        return bound_start, bound_end, weave_seconds, domain_events
+
+    def _check_wall_budget(self, start_wall, intervals_run, limit):
+        """Raise :class:`WallClockExceeded` when the run outlived its
+        ``max_wall_seconds`` budget, writing a final checkpoint first
+        when checkpointing is on (the run is resumable)."""
+        budget = self.max_wall_seconds
+        if budget is None:
+            return
+        elapsed = time.perf_counter() - start_wall
+        if elapsed < budget:
+            return
+        path = None
+        if self.checkpointer is not None:
+            path = self.checkpointer.save(self, intervals_run, limit)
+        raise WallClockExceeded(
+            "wall-clock budget of %.1f s exhausted after %.1f s "
+            "(%d intervals)%s"
+            % (budget, elapsed, intervals_run,
+               "; resume from %s" % path if path else ""),
+            budget_s=budget, elapsed_s=elapsed, intervals=intervals_run,
+            checkpoint_path=path)
 
     def _done(self, scheduler, intervals_run, max_instrs, max_cycles,
               max_intervals):
@@ -324,17 +397,19 @@ class ZSim:
                 traces[core.core_id] = core.take_trace()
         return traces
 
-    def _weave_interval(self):
+    def _weave_interval(self, backend=None):
         """Run the weave phase for the traces of the interval that just
         ended (through the execution backend) and apply the resulting
         contention delays.  Returns (weave_seconds, domain_events)."""
+        if backend is None:
+            backend = self.backend
         if self.weave is None:
             for core in self.cores:
                 core.trace.clear()
             return 0.0, []
         traces = self._collect_traces()
         weave_start = time.perf_counter()
-        delays = self.backend.run_weave(self.weave, traces)
+        delays = backend.run_weave(self.weave, traces)
         weave_seconds = time.perf_counter() - weave_start
         for core_id, delay in delays.items():
             self.cores[core_id].apply_delay(delay)
@@ -403,10 +478,55 @@ class ZSim:
                 and not any(c.has_thread for c in self.cores)):
             wake = scheduler.next_wake_cycle()
             if wake is None:
-                blocked = ", ".join(t.name
-                                    for t in scheduler.live_threads)
-                raise RuntimeError(
+                blocked = scheduler.blocked_report()
+                raise DeadlockError(
                     "Deadlock: no runnable threads, no sleepers; "
-                    "blocked threads: %s" % blocked)
+                    "blocked threads: %s"
+                    % ", ".join(t["thread"] for t in blocked),
+                    blocked=blocked, next_wake=None,
+                    interval=self.bound.intervals)
             next_limit = max(next_limit, wake + interval)
         return next_limit
+
+    # ------------------------------------------------------------------
+    # Checkpoint resume
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def resume(cls, capsule, threads, backend=None, telemetry=None):
+        """Reconstruct a simulator from a checkpoint capsule (see
+        :func:`repro.resilience.read_checkpoint`).
+
+        ``threads`` must be freshly built by the *same* workload recipe
+        (spec, seed, thread count) as the checkpointed run: the saved
+        streams carry only their position, and each is fast-forwarded
+        over the matching fresh thread's generator — deterministic by
+        the workload seeding contract.  The returned simulator's
+        ``run()`` continues the interval loop where the checkpointed
+        run stopped and produces the same final stats tree as an
+        uninterrupted run.
+        """
+        sim = capsule["sim"]
+        saved = sim.scheduler.threads
+        threads = list(threads)
+        if len(threads) != len(saved):
+            raise CheckpointError(
+                "checkpoint has %d threads but the workload built %d: "
+                "resume needs the original workload recipe"
+                % (len(saved), len(threads)))
+        for saved_thread, fresh in zip(saved, threads):
+            saved_thread.stream.resume_source(fresh.stream._stream)
+        if backend is None:
+            backend = capsule.get("backend") or "serial"
+        if isinstance(backend, str):
+            backend = make_backend(backend)
+        sim.backend = backend
+        backend.start(sim)
+        sim.host_model.backend_name = backend.name
+        bw = sim.config.boundweave
+        if getattr(bw, "watchdog_budget_s", 0.0):
+            backend.watchdog_budget = bw.watchdog_budget_s
+        if telemetry is not None:
+            sim.attach_telemetry(telemetry)
+        sim._resume = (capsule["interval"], capsule["limit"])
+        return sim

@@ -29,6 +29,7 @@ seed, every backend produces the same instruction counts, cycles,
 per-core stats, and weave delays as :class:`SerialBackend`.
 """
 
+from repro.errors import ConfigError
 from repro.exec.backend import ExecutionBackend
 from repro.exec.parallel import ParallelBackend
 from repro.exec.pipelined import PipelinedBackend
@@ -46,12 +47,13 @@ _BACKENDS = {
 
 def make_backend(name, host_threads=None):
     """Instantiate a backend by name (``serial``/``parallel``/
-    ``pipelined``); raises ValueError for unknown names."""
+    ``pipelined``); raises :class:`~repro.errors.ConfigError` (a
+    ValueError subclass) for unknown names."""
     try:
         cls = _BACKENDS[name]
     except KeyError:
-        raise ValueError("Unknown execution backend: %r (valid: %s)"
-                         % (name, ", ".join(BACKEND_NAMES))) from None
+        raise ConfigError("Unknown execution backend: %r (valid: %s)"
+                          % (name, ", ".join(BACKEND_NAMES))) from None
     return cls(host_threads=host_threads)
 
 

@@ -21,9 +21,27 @@ must not leak across runs; backends restart lazily if reused).
 attached so backends with real workers can report measured idle time
 (``exec.worker_idle_us``) instead of the serial backend's apportioned
 spans.
+
+Supervision hooks (see :mod:`repro.resilience`): ``watchdog_budget``
+bounds how long a backend waits for worker progress before raising a
+typed :class:`~repro.errors.WatchdogTimeout`; ``fault_plan`` lets the
+deterministic fault-injection harness wrap dispatched jobs; ``recover()``
+invalidates in-flight work (via the pool epoch) and abandons a poisoned
+pool so a degraded re-run can proceed with fresh workers.
 """
 
 from __future__ import annotations
+
+
+class WorkerKilled(BaseException):
+    """Injected crash (fault harness): the worker thread exits without
+    completing its job — simulating a died-without-a-trace worker.
+    Deliberately a BaseException so normal handlers cannot swallow it."""
+
+
+class PassAborted(Exception):
+    """Raised in jobs parked on an aborted turnstile after a watchdog
+    timeout: the pass is being torn down, the job's work never ran."""
 
 
 class ExecutionBackend:
@@ -31,6 +49,14 @@ class ExecutionBackend:
 
     #: Short name used by ``--backend`` and stats reporting.
     name = "abstract"
+
+    #: Seconds of no worker progress before a pass raises
+    #: :class:`~repro.errors.WatchdogTimeout`; None waits forever.
+    watchdog_budget = None
+
+    #: Optional :class:`repro.resilience.FaultPlan` consulted at job
+    #: dispatch (test/CI harness only; None in production runs).
+    fault_plan = None
 
     # -- lifecycle -----------------------------------------------------
 
@@ -42,6 +68,18 @@ class ExecutionBackend:
     def shutdown(self):
         """Release host resources (join worker threads).  Idempotent;
         a backend may be restarted lazily after shutdown."""
+
+    def pool_epoch(self):
+        """Monotonic pool generation.  Jobs dispatched under an older
+        epoch are stale: workers drop them on arrival, and fault
+        wrappers stop stalling when the epoch moves on."""
+        return getattr(self, "_epoch", 0)
+
+    def recover(self):
+        """Invalidate in-flight work and abandon the worker pool after
+        an execution fault (workers may be stalled or dead); the next
+        pass lazily builds a fresh pool.  Default: plain shutdown."""
+        self.shutdown()
 
     # -- bound phase ---------------------------------------------------
 

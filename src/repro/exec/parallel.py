@@ -33,6 +33,16 @@ mechanisms enforce that here:
   ``occupy`` order — the only order simulated timing depends on — is
   identical to the serial executor's.
 
+Failure containment (see :mod:`repro.resilience`): job errors are
+captured with their dispatch context and re-raised as a typed
+:class:`~repro.errors.WorkerFailure` chained to the original exception;
+a configurable watchdog bounds how long a pass waits for worker progress
+(a stalled or killed worker surfaces as
+:class:`~repro.errors.WatchdogTimeout` instead of hanging the turnstile
+forever); and a pool epoch lets ``recover()`` abandon a poisoned pool —
+in-flight jobs from the old epoch are dropped on arrival, so an
+interval re-run never races against stale work.
+
 Wall-clock scaling on stock CPython is still bounded by the GIL (see
 docs/bound_weave.md); the worker/locking infrastructure is exercised
 continuously by the equivalence suite so free-threaded builds inherit a
@@ -45,26 +55,39 @@ import queue
 import threading
 import time
 
-from repro.exec.backend import ExecutionBackend
+from repro.errors import (ExecutionFault, WatchdogTimeout, WorkerFailure,
+                          format_cause)
+from repro.exec.backend import ExecutionBackend, PassAborted, WorkerKilled
 from repro.obs.tracer import TID_WORKER
 
 
 class _Turnstile:
     """Ordered handoff: ticket *i* may proceed only after tickets
-    ``0..i-1`` advanced (the bound phase's wake-order discipline)."""
+    ``0..i-1`` advanced (the bound phase's wake-order discipline).
+    ``abort()`` wakes every parked waiter with :class:`PassAborted` so
+    a watchdogged pass can unwind instead of waiting forever."""
 
     def __init__(self):
         self._turn = 0
+        self._aborted = False
         self._cond = threading.Condition()
 
     def wait_for(self, ticket):
         with self._cond:
-            while self._turn != ticket:
+            while self._turn != ticket and not self._aborted:
                 self._cond.wait()
+            if self._aborted:
+                raise PassAborted("bound pass aborted at ticket %d"
+                                  % ticket)
 
     def advance(self):
         with self._cond:
             self._turn += 1
+            self._cond.notify_all()
+
+    def abort(self):
+        with self._cond:
+            self._aborted = True
             self._cond.notify_all()
 
 
@@ -73,10 +96,11 @@ class _Worker(threading.Thread):
 
     QUEUE_DEPTH = 2
 
-    def __init__(self, index, pool_name):
-        super().__init__(name="%s-worker%d" % (pool_name, index),
+    def __init__(self, index, backend):
+        super().__init__(name="%s-worker%d" % (backend.name, index),
                          daemon=True)
         self.index = index
+        self._backend = backend
         self.inbox = queue.Queue(maxsize=self.QUEUE_DEPTH)
         #: Microseconds spent waiting for work (and, for bound items,
         #: waiting for the turnstile) since the last ``take_idle_us``.
@@ -90,14 +114,22 @@ class _Worker(threading.Thread):
             self.idle_us += (time.perf_counter() - t0) * 1e6
             if job is None:
                 return
-            fn, done, errors = job
+            fn, done, errors, ctx, epoch = job
+            killed = False
             try:
-                fn(self.index)
+                # Stale jobs (dispatched before a recover()) are dropped:
+                # running them would mutate state an interval re-run has
+                # already rewound.  Their completion is still signaled.
+                if epoch == self._backend.pool_epoch():
+                    fn(self.index)
+            except WorkerKilled:
+                killed = True
             except BaseException as exc:  # propagate to the coordinator
-                errors.append(exc)
-            finally:
-                self.jobs_run += 1
-                done.release()
+                errors.append((exc, ctx))
+            self.jobs_run += 1
+            if killed:
+                return  # simulated crash: exit without signaling done
+            done.release()
 
     def take_idle_us(self):
         idle, self.idle_us = self.idle_us, 0.0
@@ -119,10 +151,20 @@ class ParallelBackend(ExecutionBackend):
 
     name = "parallel"
 
+    #: Grace period after a watchdog abort for unwinding workers to
+    #: drain before the pass gives up on them.
+    ABORT_GRACE_S = 1.0
+
+    #: Bounded wait for a worker to take its shutdown sentinel; a dead
+    #: or wedged worker with a full inbox is abandoned past this.
+    SHUTDOWN_JOIN_S = 5.0
+
     def __init__(self, host_threads=None):
         self.host_threads = host_threads
         self._workers = []
         self._sim = None
+        self._epoch = 0
+        self._turnstile = None
 
     # -- lifecycle -----------------------------------------------------
 
@@ -133,11 +175,38 @@ class ParallelBackend(ExecutionBackend):
                 1, sim.config.boundweave.host_threads)
 
     def shutdown(self):
+        """Drain and join the pool.  Safe after a poisoned pass: the
+        epoch bump turns queued jobs into no-ops, sentinel delivery is
+        bounded, and workers that never come back (killed or stalled
+        mid-job) are abandoned as daemons instead of hanging the
+        driver."""
         workers, self._workers = self._workers, []
+        self._epoch += 1
+        self._turnstile = None
         for worker in workers:
-            worker.inbox.put(None)
+            try:
+                worker.inbox.put(None, timeout=0.5)
+            except queue.Full:
+                pass  # dead worker, full inbox: it can never drain
+        deadline = time.perf_counter() + self.SHUTDOWN_JOIN_S
         for worker in workers:
-            worker.join()
+            worker.join(timeout=max(0.0, deadline - time.perf_counter()))
+
+    def abort_pass(self):
+        """Wake any workers parked on the current bound-pass turnstile
+        (they unwind with :class:`PassAborted`)."""
+        turnstile = self._turnstile
+        if turnstile is not None:
+            turnstile.abort()
+
+    def pool_epoch(self):
+        return self._epoch
+
+    def recover(self):
+        """Invalidate in-flight work and abandon the pool after an
+        execution fault; the next pass builds a fresh pool lazily."""
+        self.abort_pass()
+        self.shutdown()
 
     def _ensure_pool(self, want):
         """Grow the pool (lazily) to min(want, host_threads) workers."""
@@ -145,7 +214,7 @@ class ParallelBackend(ExecutionBackend):
         telem = getattr(self._sim, "_telem", None)
         tracer = telem.tracer if telem is not None else None
         while len(self._workers) < want:
-            worker = _Worker(len(self._workers), self.name)
+            worker = _Worker(len(self._workers), self)
             if tracer is not None:
                 tracer.name_track(TID_WORKER + worker.index,
                                   "%s worker%d" % (self.name,
@@ -154,17 +223,85 @@ class ParallelBackend(ExecutionBackend):
             self._workers.append(worker)
         return self._workers
 
-    def _run_jobs(self, jobs):
-        """Dispatch ``(worker_index, fn)`` jobs through the bounded
-        inboxes; block until all complete; re-raise the first error."""
+    def _run_jobs(self, jobs, phase, interval):
+        """Dispatch ``(worker_index, fn, ctx)`` jobs through the bounded
+        inboxes and block until all complete.
+
+        The first real job error is re-raised as a
+        :class:`WorkerFailure` chained to the original exception (full
+        traceback preserved) *after* the pass drains, so no completion
+        is left dangling.  With a watchdog budget set, a stretch of
+        ``budget`` seconds without a single completion aborts the pass
+        and raises :class:`WatchdogTimeout`."""
         done = threading.Semaphore(0)
         errors = []
-        for index, fn in jobs:
-            self._workers[index].inbox.put((fn, done, errors))
-        for _ in jobs:
-            done.acquire()
-        if errors:
-            raise errors[0]
+        epoch = self._epoch
+        plan = self.fault_plan
+        budget = self.watchdog_budget
+        pending = 0
+        timed_out = False
+        for index, fn, ctx in jobs:
+            ctx = dict(ctx, phase=phase, interval=interval, worker=index)
+            if plan is not None:
+                fn = plan.wrap(fn, ctx, self, epoch)
+            try:
+                # The bounded put is itself watchdogged: a dead worker
+                # stops draining its inbox, and an unbounded put here
+                # would hang the driver before the completion loop ever
+                # noticed the missing progress.
+                self._workers[index].inbox.put(
+                    (fn, done, errors, ctx, epoch), timeout=budget)
+            except queue.Full:
+                timed_out = True
+                break
+            pending += 1
+        while not timed_out and pending:
+            # Progress-based: each completion restarts the budget clock.
+            if done.acquire(timeout=budget):
+                pending -= 1
+            else:
+                timed_out = True
+                break
+        if timed_out:
+            # A worker is stalled or dead.  Abort the turnstile so
+            # parked workers unwind, grace-drain them, then raise.
+            self.abort_pass()
+            deadline = time.perf_counter() + min(budget,
+                                                 self.ABORT_GRACE_S)
+            while pending:
+                left = deadline - time.perf_counter()
+                if left <= 0 or not done.acquire(timeout=left):
+                    break
+                pending -= 1
+        failure = next(((exc, ctx) for exc, ctx in errors
+                        if not isinstance(exc, PassAborted)), None)
+        if failure is not None:
+            exc, ctx = failure
+            if isinstance(exc, ExecutionFault):
+                raise exc  # already typed with context (HorizonViolation)
+            raise WorkerFailure(
+                "worker %s failed a %s job (interval %s, %s): %s"
+                % (ctx.get("worker"), phase, interval,
+                   self._ctx_target(ctx), exc),
+                traceback_text=format_cause(exc), phase=phase,
+                interval=interval, worker=ctx.get("worker"),
+                core=ctx.get("core"),
+                domain=ctx.get("domain")) from exc
+        if timed_out:
+            raise WatchdogTimeout(
+                "no worker progress for %.2fs in %s pass (interval %s): "
+                "%d of %d jobs incomplete"
+                % (budget, phase, interval, pending, len(jobs)),
+                budget_s=budget, completed=len(jobs) - pending,
+                pending=pending, phase=phase, interval=interval)
+
+    @staticmethod
+    def _ctx_target(ctx):
+        if ctx.get("core") is not None:
+            return "core %s" % ctx["core"]
+        if ctx.get("domain") is not None:
+            return "domain %s" % ctx["domain"]
+        return "job"
 
     # -- bound phase ---------------------------------------------------
 
@@ -191,8 +328,15 @@ class ParallelBackend(ExecutionBackend):
                     turnstile.advance()
             return job
 
-        self._run_jobs([(ticket % num_workers, make_job(ticket, core))
-                        for ticket, core in enumerate(cores)])
+        self._turnstile = turnstile
+        try:
+            self._run_jobs(
+                [(ticket % num_workers, make_job(ticket, core),
+                  {"core": core.core_id})
+                 for ticket, core in enumerate(cores)],
+                phase="bound", interval=bound.intervals)
+        finally:
+            self._turnstile = None
         telem = bound._telem
         tracer = telem.tracer if telem is not None else None
         outcomes = []
@@ -218,14 +362,21 @@ class ParallelBackend(ExecutionBackend):
 
     def _execute_weave(self, weave, events):
         domains = weave.domains
+        plan = self.fault_plan
+        interval = weave.stats.intervals
         # The journal needs the global execution order, and crossing
         # probes (the ablation) read other domains' clocks: both force
         # the reference executor.  One domain has nothing to overlap.
         if (weave.journal is not None or not weave.crossing_deps
                 or len(domains) <= 1):
-            weave._execute(events)
+            weave.seed_queues(events)
+            if plan is not None:
+                plan.corrupt(weave, interval)
+            weave._drain_earliest_first()
             return
         weave.seed_queues(events)
+        if plan is not None:
+            plan.corrupt(weave, interval)
         workers = self._ensure_pool(len(domains))
         num_workers = len(workers)
         telem = weave._telem
@@ -262,9 +413,10 @@ class ParallelBackend(ExecutionBackend):
                     continue
                 jobs.append((domain.domain_id % num_workers,
                              self._batch_job(weave, domain, horizon,
-                                             tracer)))
+                                             tracer),
+                             {"domain": domain.domain_id}))
             if jobs:
-                self._run_jobs(jobs)
+                self._run_jobs(jobs, phase="weave", interval=interval)
                 continue
             # Synchronization point: the globally earliest event (it
             # emits domain crossings, or every queue is past another's

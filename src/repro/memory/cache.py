@@ -51,6 +51,14 @@ class Cache:
         self.upgrades = 0             # S->E transitions requested
         self.prefetch_fills = 0
 
+    def __getstate__(self):
+        """``parent_select`` is a routing closure installed by the
+        hierarchy builder; it is dropped here and re-created by
+        ``MemoryHierarchy.__setstate__`` (checkpoint support)."""
+        state = self.__dict__.copy()
+        state["parent_select"] = None
+        return state
+
     # ------------------------------------------------------------------
     # Requests from below (the "up" path)
     # ------------------------------------------------------------------

@@ -81,7 +81,6 @@ class MemoryHierarchy:
                               l3.latency, repl=l3.repl,
                               tile=bank % num_tiles, seed=bank,
                               hash_sets=l3.hash_sets)
-                cache.parent_select = self._link_to_memory(cache)
                 cache.down_latency = (self.network.round_trip(0, 0)
                                       + config.l1d.latency)
                 if build_weave:
@@ -105,7 +104,6 @@ class MemoryHierarchy:
                 cache = Cache("l2-%d" % idx, "l2", l2.num_sets, l2.ways,
                               l2.latency, repl=l2.repl, tile=tile,
                               seed=1000 + idx, hash_sets=l2.hash_sets)
-                cache.parent_select = self._link_to_l3_or_mem(cache)
                 cache.down_latency = config.l1d.latency
                 cache.noc_routes = self.noc_routes
                 if build_weave and config.l2_shared_per_tile:
@@ -137,12 +135,12 @@ class MemoryHierarchy:
                               cfg.ways, cfg.latency, repl=cfg.repl,
                               tile=tile, seed=2000 + core,
                               hash_sets=cfg.hash_sets)
-                cache.parent_select = self._link_l1(core, cache)
                 if config.l2 is None:
                     cache.noc_routes = self.noc_routes
                 caches.append(cache)
 
         self._wire_children()
+        self._rewire_parents()
 
     # ------------------------------------------------------------------
     # Wiring helpers
@@ -177,6 +175,34 @@ class MemoryHierarchy:
                 parent = self.l2s[core]
             return lambda line: (parent, 0)
         return self._link_to_l3_or_mem(cache)
+
+    def _rewire_parents(self):
+        """(Re)install the parent-routing closures on every cache.
+
+        The closures capture live objects (banks, the network, main
+        memory), so they cannot be pickled; ``Cache.__getstate__`` drops
+        them and :meth:`__setstate__` re-runs this pass after a
+        checkpoint load.  Idempotent by construction."""
+        for cache in self.l3_banks:
+            cache.parent_select = self._link_to_memory(cache)
+        for cache in self.l2s:
+            cache.parent_select = self._link_to_l3_or_mem(cache)
+        for core in range(self.config.num_cores):
+            for cache in (self.l1i[core], self.l1d[core]):
+                cache.parent_select = self._link_l1(core, cache)
+
+    def __getstate__(self):
+        """Telemetry and the profiler are host-side observers, never
+        simulated state; the routing closures are rebuilt on load."""
+        state = self.__dict__.copy()
+        state["_telem"] = None
+        state["_metrics_latency"] = None
+        state["profiler"] = None
+        return state
+
+    def __setstate__(self, state):
+        self.__dict__.update(state)
+        self._rewire_parents()
 
     def _wire_children(self):
         """Populate children lists so directories know their subtrees."""

@@ -1,0 +1,27 @@
+"""Resilience layer: supervised execution, interval checkpoints, and
+deterministic fault injection (see docs/resilience.md).
+
+The layer leans on two guarantees the engine already provides — interval
+barriers are consistent global states, and execution backends never
+change simulated results — to turn host-side failures (dead or stalled
+workers, corrupted event queues, killed processes) into recoverable
+events: the supervisor replays the faulted interval serially from an
+in-memory snapshot, and the checkpointer persists barrier snapshots so
+a killed run resumes to an identical stats tree.
+"""
+
+from repro.resilience.checkpoint import (Checkpointer, capture_state,
+                                         discard, latest, read_checkpoint,
+                                         restore, snapshot,
+                                         write_checkpoint, FORMAT_VERSION)
+from repro.resilience.faults import (CorruptEvent, DelayJob, Fault,
+                                     FaultPlan, KillWorker, RaiseInJob,
+                                     StallWorker)
+from repro.resilience.supervisor import Supervisor
+
+__all__ = [
+    "Checkpointer", "CorruptEvent", "DelayJob", "Fault", "FaultPlan",
+    "FORMAT_VERSION", "KillWorker", "RaiseInJob", "StallWorker",
+    "Supervisor", "capture_state", "discard", "latest",
+    "read_checkpoint", "restore", "snapshot", "write_checkpoint",
+]

@@ -1,0 +1,233 @@
+"""Interval checkpointing: consistent snapshots at interval barriers.
+
+The interval barrier is the engine's consistent global state: every
+core has reached the limit cycle, the weave phase has drained, and the
+scheduler holds no mid-syscall state.  Snapshotting there is what makes
+both recovery layers possible:
+
+* **In-memory snapshots** (:func:`snapshot` / :func:`restore`): the
+  resilience supervisor captures the simulator before each supervised
+  interval; when an :class:`~repro.errors.ExecutionFault` surfaces, it
+  restores the snapshot and replays the interval on the serial backend.
+  Restoration swaps the simulator's ``__dict__`` wholesale — rewinding
+  every counter, queue, and RNG — then splices the *original* live
+  instruction streams back in, rewound to the barrier via their replay
+  logs (generators cannot be pickled, so clones carry position metadata
+  only).
+* **On-disk checkpoints** (:class:`Checkpointer`): the same capture
+  wrapped in a versioned, checksummed file so ``repro run --resume`` can
+  restart a killed run.  Streams are reconstructed by fast-forwarding a
+  fresh workload generator to the recorded position
+  (``InstrumentedStream.resume_source``), which is deterministic by the
+  workload seeding contract.
+
+File format: one ASCII header line ``repro-ckpt <version> <crc32>``
+followed by a pickle payload.  The CRC covers the payload; mismatches
+raise :class:`~repro.errors.CheckpointError`, version skew raises
+:class:`~repro.errors.CheckpointVersionError`.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import zlib
+
+from repro.errors import CheckpointError, CheckpointVersionError
+from repro.obs.log import get_logger
+
+#: On-disk format version; bump on any incompatible capsule change.
+FORMAT_VERSION = 1
+MAGIC = b"repro-ckpt"
+
+_log = get_logger("resilience.checkpoint")
+
+
+def _detached(sim):
+    """Attribute names on ZSim that hold host-side machinery (threads,
+    file handles, supervision state) and must survive a restore."""
+    return ("backend", "supervisor", "checkpointer", "_telem")
+
+
+def capture_state(sim):
+    """Pickle the simulator at an interval barrier.  Host-side
+    machinery (backend worker threads, telemetry sinks, the profiler,
+    the supervision layer itself) is detached around the dump; the
+    returned bytes contain only simulated state."""
+    saved = {name: getattr(sim, name, None) for name in _detached(sim)}
+    profiler = sim.hierarchy.profiler
+    telem = sim._telem
+    sim.attach_telemetry(None)
+    sim.hierarchy.profiler = None
+    for name in _detached(sim):
+        setattr(sim, name, None)
+    try:
+        return pickle.dumps(sim, protocol=pickle.HIGHEST_PROTOCOL)
+    except Exception as exc:
+        raise CheckpointError(
+            "simulator state is not serializable: %s" % (exc,)) from exc
+    finally:
+        for name, value in saved.items():
+            setattr(sim, name, value)
+        sim.hierarchy.profiler = profiler
+        if telem is not None:
+            sim.attach_telemetry(telem)
+
+
+def snapshot(sim):
+    """In-memory snapshot for interval replay: arm the replay log on
+    every instruction stream, then capture.  Pair with :func:`restore`
+    (on fault) or :func:`discard` (on success)."""
+    for thread in sim.scheduler.threads:
+        thread.stream.begin_log()
+    return capture_state(sim)
+
+
+def discard(sim):
+    """Drop the replay logs armed by :func:`snapshot` after the
+    interval committed."""
+    for thread in sim.scheduler.threads:
+        thread.stream.discard_log()
+
+
+def restore(sim, payload):
+    """Rewind ``sim`` to the state captured by :func:`snapshot`.
+
+    Only call after the backend's ``recover()`` has quiesced its
+    workers: a straggler job mutating state (or pulling stream records)
+    during the swap would corrupt the rewound position.
+    """
+    clone = pickle.loads(payload)
+    originals = [thread.stream for thread in sim.scheduler.threads]
+    for stream in originals:
+        stream.rollback_log()
+    preserved = {name: getattr(sim, name, None) for name in _detached(sim)}
+    profiler = sim.hierarchy.profiler
+    sim.__dict__.clear()
+    sim.__dict__.update(clone.__dict__)
+    # The clone's streams are position metadata without generators;
+    # splice the live originals (just rewound to the barrier) back in.
+    for thread, stream in zip(sim.scheduler.threads, originals):
+        thread.stream = stream
+    for core_id, thread in enumerate(sim.scheduler._running):
+        sim.cores[core_id].stream = (thread.stream if thread is not None
+                                     else None)
+    for name, value in preserved.items():
+        setattr(sim, name, value)
+    sim.hierarchy.profiler = profiler
+    if sim._telem is not None:
+        sim.attach_telemetry(sim._telem)
+
+
+# ---------------------------------------------------------------------
+# On-disk checkpoints
+# ---------------------------------------------------------------------
+
+
+def write_checkpoint(path, sim, interval, limit, meta=None):
+    """Write a versioned checkpoint capsule atomically to ``path``."""
+    capsule = {
+        "version": FORMAT_VERSION,
+        "interval": interval,
+        "limit": limit,
+        "backend": sim.backend.name if sim.backend is not None else None,
+        "contention": sim.contention_model,
+        "config_name": sim.config.name,
+        "meta": dict(meta or {}),
+        "sim": capture_state(sim),
+    }
+    body = pickle.dumps(capsule, protocol=pickle.HIGHEST_PROTOCOL)
+    header = b"%s %d %08x\n" % (MAGIC, FORMAT_VERSION,
+                                zlib.crc32(body) & 0xFFFFFFFF)
+    tmp = path + ".tmp"
+    with open(tmp, "wb") as fh:
+        fh.write(header)
+        fh.write(body)
+    os.replace(tmp, path)
+    _log.info("checkpoint written: %s (interval %d)", path, interval)
+    return path
+
+
+def read_checkpoint(path):
+    """Read and validate a checkpoint capsule.  The embedded simulator
+    is unpickled into ``capsule['sim']``."""
+    with open(path, "rb") as fh:
+        header = fh.readline()
+        body = fh.read()
+    parts = header.split()
+    if len(parts) != 3 or parts[0] != MAGIC:
+        raise CheckpointError("%s is not a checkpoint file" % (path,))
+    try:
+        version = int(parts[1])
+        crc = int(parts[2], 16)
+    except ValueError:
+        raise CheckpointError("%s has a corrupt header" % (path,))
+    if version != FORMAT_VERSION:
+        raise CheckpointVersionError(
+            "%s is checkpoint format v%d; this build reads v%d"
+            % (path, version, FORMAT_VERSION),
+            found=version, expected=FORMAT_VERSION)
+    if zlib.crc32(body) & 0xFFFFFFFF != crc:
+        raise CheckpointError("%s failed its checksum" % (path,))
+    capsule = pickle.loads(body)
+    capsule["sim"] = pickle.loads(capsule["sim"])
+    return capsule
+
+
+def latest(directory):
+    """Path of the highest-interval checkpoint in ``directory``, or
+    None when there is none."""
+    best = None
+    best_interval = -1
+    try:
+        names = os.listdir(directory)
+    except OSError:
+        return None
+    for name in names:
+        if name.startswith("ckpt-") and name.endswith(".pkl"):
+            try:
+                interval = int(name[5:-4])
+            except ValueError:
+                continue
+            if interval > best_interval:
+                best_interval = interval
+                best = os.path.join(directory, name)
+    return best
+
+
+class Checkpointer:
+    """Periodic on-disk checkpointing at interval strides."""
+
+    def __init__(self, directory, every=1, keep=2, meta=None):
+        self.directory = directory
+        self.every = max(1, int(every))
+        self.keep = max(1, int(keep))
+        self.meta = dict(meta or {})
+        self.saved = 0
+        self.last_path = None
+        os.makedirs(directory, exist_ok=True)
+
+    def maybe_save(self, sim, interval, limit):
+        """Save when ``interval`` lands on the stride; returns the path
+        or None."""
+        if interval % self.every:
+            return None
+        return self.save(sim, interval, limit)
+
+    def save(self, sim, interval, limit):
+        path = os.path.join(self.directory, "ckpt-%08d.pkl" % interval)
+        write_checkpoint(path, sim, interval, limit, self.meta)
+        self.saved += 1
+        self.last_path = path
+        self._prune()
+        return path
+
+    def _prune(self):
+        kept = sorted(
+            (name for name in os.listdir(self.directory)
+             if name.startswith("ckpt-") and name.endswith(".pkl")))
+        for name in kept[:-self.keep]:
+            try:
+                os.unlink(os.path.join(self.directory, name))
+            except OSError:
+                pass

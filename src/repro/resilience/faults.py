@@ -1,0 +1,285 @@
+"""Deterministic fault injection for the execution backends.
+
+A :class:`FaultPlan` is a seeded, fully deterministic schedule of host
+faults — *worker N dies at interval K*, *the weave stage stalls*, *a
+job outlives the watchdog budget*, *an event timestamp is corrupted so
+the horizon invariant fires*.  Backends consult the plan at two seams:
+
+* **Job dispatch** (``plan.wrap``): every job handed to a pool worker or
+  the pipeline stage carries a context dict (phase, interval, worker,
+  core, domain).  The first unfired fault whose selectors match wraps
+  the job; each fault fires exactly once.
+* **Queue corruption** (``plan.corrupt``): after an executor seeds the
+  weave queues for an interval, matching :class:`CorruptEvent` faults
+  rewrite one queued timestamp in place — the heap surfaces it out of
+  order and :class:`~repro.errors.HorizonViolation` fires on pop.
+
+Faults simulate *host* failures, never simulated-program behavior, so a
+supervised run that recovers from every injected fault must produce a
+stats tree identical to a fault-free run — that is the property
+``tests/test_resilience.py`` asserts and the CI smoke job guards.
+
+The plan grammar (CLI ``--inject-faults``) is ``;``-separated entries::
+
+    kind@interval[:selector]...[:seconds]
+
+    kill@3:w0          kill worker 0 at its first interval-3 job
+    stall@5:w1:0.5     worker 1 hangs (up to 0.5 s) at interval 5
+    delay@6:w0:0.2     worker 0's job sleeps 0.2 s before running
+    raise@2:c1         the job simulating core 1 raises after running
+    corrupt@4:d1       corrupt a queued timestamp in weave domain 1
+
+Selectors: ``w<N>`` worker index, ``c<N>`` core id, ``d<N>`` domain id,
+or a literal phase name (``bound``, ``weave``, ``weave-stage``).
+Intervals are 1-based, matching the engine's interval counters.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+
+from repro.errors import ConfigError
+from repro.exec.backend import WorkerKilled
+
+_PHASES = ("bound", "weave", "weave-stage")
+
+
+class Fault:
+    """One scheduled fault.  Subclasses define ``kind`` and either
+    ``wrap`` (dispatch faults) or ``apply`` (queue-corruption faults)."""
+
+    kind = "fault"
+    #: Dispatch faults are consulted by ``plan.wrap``; non-dispatch
+    #: faults (queue corruption) by ``plan.corrupt``.
+    dispatch = True
+
+    def __init__(self, interval, worker=None, core=None, domain=None,
+                 phase=None, seconds=None):
+        self.interval = interval
+        self.worker = worker
+        self.core = core
+        self.domain = domain
+        self.phase = phase
+        self.seconds = seconds
+        self.fired = False
+
+    def matches(self, ctx):
+        if self.fired or ctx.get("interval") != self.interval:
+            return False
+        for key in ("worker", "core", "domain", "phase"):
+            want = getattr(self, key)
+            if want is not None and ctx.get(key) != want:
+                return False
+        return True
+
+    def wrap(self, fn, ctx, backend, epoch):
+        raise NotImplementedError
+
+    def describe(self):
+        sel = [s for s in ("w%s" % self.worker if self.worker is not None
+                           else None,
+                           "c%s" % self.core if self.core is not None
+                           else None,
+                           "d%s" % self.domain if self.domain is not None
+                           else None,
+                           self.phase) if s]
+        tail = ":".join([""] + sel) if sel else ""
+        if self.seconds is not None:
+            tail += ":%g" % self.seconds
+        return "%s@%d%s" % (self.kind, self.interval, tail)
+
+    def __repr__(self):
+        return "%s(%s%s)" % (type(self).__name__, self.describe(),
+                             ", fired" if self.fired else "")
+
+
+class KillWorker(Fault):
+    """The worker dies without a trace: its thread exits without
+    completing the job, so the only symptom is missing progress — the
+    watchdog budget is what surfaces it."""
+
+    kind = "kill"
+
+    def wrap(self, fn, ctx, backend, epoch):
+        def wrapper(worker_index):
+            raise WorkerKilled(
+                "injected: worker %s killed at interval %s (%s)"
+                % (ctx.get("worker"), ctx.get("interval"),
+                   ctx.get("phase")))
+        return wrapper
+
+
+class StallWorker(Fault):
+    """The worker hangs instead of working: it spins until recovery
+    bumps the pool epoch (or ``seconds``/the hard cap elapses).  If no
+    recovery ever comes, the job degrades into a plain delay so an
+    unwatched run stays sound."""
+
+    kind = "stall"
+    HARD_CAP_S = 30.0
+
+    def wrap(self, fn, ctx, backend, epoch):
+        def wrapper(worker_index):
+            deadline = time.perf_counter() + (self.seconds
+                                              or self.HARD_CAP_S)
+            while (backend.pool_epoch() == epoch
+                   and time.perf_counter() < deadline):
+                time.sleep(0.002)
+            if backend.pool_epoch() == epoch:
+                fn(worker_index)
+        return wrapper
+
+
+class DelayJob(Fault):
+    """The job runs late — past the watchdog budget if ``seconds``
+    exceeds it.  After the sleep the job only runs if its epoch is
+    still current; a recovered interval must not be re-mutated by a
+    straggler."""
+
+    kind = "delay"
+    DEFAULT_S = 0.05
+
+    def wrap(self, fn, ctx, backend, epoch):
+        def wrapper(worker_index):
+            time.sleep(self.seconds or self.DEFAULT_S)
+            if backend.pool_epoch() == epoch:
+                fn(worker_index)
+        return wrapper
+
+
+class RaiseInJob(Fault):
+    """The job raises a plain RuntimeError *after* doing its work (so
+    pass-ordering obligations like the bound turnstile are met and the
+    hang-free guarantee holds even unwatched).  State WAS mutated when
+    the error surfaces — exactly the case interval replay must rewind."""
+
+    kind = "raise"
+
+    def wrap(self, fn, ctx, backend, epoch):
+        def wrapper(worker_index):
+            fn(worker_index)
+            raise RuntimeError(
+                "injected failure in %s job (interval %s, worker %s)"
+                % (ctx.get("phase"), ctx.get("interval"),
+                   ctx.get("worker")))
+        return wrapper
+
+
+class CorruptEvent(Fault):
+    """Rewrite one queued weave timestamp to a wildly early cycle.  The
+    entry sits at a heap leaf; the first pop promotes it to the root,
+    the second pop surfaces it below the domain's interval floor and
+    :class:`~repro.errors.HorizonViolation` fires."""
+
+    kind = "corrupt"
+    dispatch = False
+    DELTA = 1 << 40
+
+    def apply(self, weave, rng):
+        domains = list(weave.domains)
+        if self.domain is not None:
+            domains = [d for d in domains if d.domain_id == self.domain]
+        else:
+            rng.shuffle(domains)
+        for domain in domains:
+            # Need >= 2 entries: the corrupted one must not be the very
+            # first pop (no floor yet, nothing to violate).
+            if len(domain._queue) >= 2:
+                cycle, seq, item = domain._queue[-1]
+                domain._queue[-1] = (cycle - self.DELTA, seq, item)
+                self.fired = True
+                return True
+        return False
+
+
+_KINDS = {cls.kind: cls for cls in (KillWorker, StallWorker, DelayJob,
+                                    RaiseInJob, CorruptEvent)}
+
+
+class FaultPlan:
+    """A deterministic schedule of faults (see module docs)."""
+
+    def __init__(self, faults=(), seed=0):
+        self.faults = list(faults)
+        self.seed = seed
+        self._rng = random.Random(seed)
+
+    # -- construction --------------------------------------------------
+
+    @classmethod
+    def parse(cls, spec, seed=0):
+        """Parse a ``;``-separated plan string; raises
+        :class:`~repro.errors.ConfigError` on malformed entries."""
+        faults = [cls._parse_one(part)
+                  for part in (p.strip() for p in spec.split(";")) if part]
+        if not faults:
+            raise ConfigError("Empty fault plan: %r" % (spec,))
+        return cls(faults, seed=seed)
+
+    @staticmethod
+    def _parse_one(part):
+        head, sep, rest = part.partition("@")
+        if not sep or head not in _KINDS:
+            raise ConfigError(
+                "Bad fault spec %r: want kind@interval[:selector...]"
+                "[:seconds] with kind in %s" % (part, sorted(_KINDS)))
+        fields = rest.split(":")
+        try:
+            interval = int(fields[0])
+        except (ValueError, IndexError):
+            raise ConfigError("Bad fault interval in %r" % (part,))
+        kwargs = {}
+        for field in fields[1:]:
+            if not field:
+                continue
+            tag, num = field[0], field[1:]
+            if tag == "w" and num.isdigit():
+                kwargs["worker"] = int(num)
+            elif tag == "c" and num.isdigit():
+                kwargs["core"] = int(num)
+            elif tag == "d" and num.isdigit():
+                kwargs["domain"] = int(num)
+            elif field in _PHASES:
+                kwargs["phase"] = field
+            else:
+                try:
+                    kwargs["seconds"] = float(field)
+                except ValueError:
+                    raise ConfigError(
+                        "Bad fault selector %r in %r" % (field, part))
+        return _KINDS[head](interval, **kwargs)
+
+    # -- backend seams -------------------------------------------------
+
+    def wrap(self, fn, ctx, backend, epoch):
+        """Called at job dispatch; returns ``fn``, possibly wrapped by
+        the first unfired matching fault (which is thereby consumed)."""
+        for fault in self.faults:
+            if fault.dispatch and fault.matches(ctx):
+                fault.fired = True
+                return fault.wrap(fn, ctx, backend, epoch)
+        return fn
+
+    def corrupt(self, weave, interval):
+        """Called after an executor seeds the weave queues."""
+        for fault in self.faults:
+            if (not fault.dispatch and not fault.fired
+                    and fault.interval == interval):
+                fault.apply(weave, self._rng)
+
+    # -- bookkeeping ---------------------------------------------------
+
+    def remaining(self):
+        """Faults that have not fired (a test asserting full coverage
+        of its matrix checks this is empty)."""
+        return [f for f in self.faults if not f.fired]
+
+    def reset(self):
+        for fault in self.faults:
+            fault.fired = False
+        self._rng = random.Random(self.seed)
+
+    def __repr__(self):
+        return "FaultPlan(%s)" % "; ".join(f.describe()
+                                           for f in self.faults)

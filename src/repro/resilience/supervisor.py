@@ -1,0 +1,149 @@
+"""The resilience supervisor: supervised interval execution.
+
+Wraps the simulator's interval loop with a recovery policy built on two
+engine guarantees:
+
+1. **Interval barriers are consistent global states** — so an interval
+   that faulted mid-flight can be rewound (in-memory snapshot, see
+   :mod:`repro.resilience.checkpoint`) and replayed.
+2. **Backends never change simulated results, only wall time** — so the
+   replay can run on the serial reference backend and the final stats
+   tree is identical to what the faulted backend would have produced.
+
+Per supervised interval: snapshot, execute on the configured backend,
+and on any :class:`~repro.errors.ExecutionFault` (worker death, watchdog
+timeout, horizon violation) quiesce the backend (``recover()``), restore
+the snapshot, and re-run the interval serially.  After a recovery the
+next ``backoff_intervals`` intervals run serially too (the pool is
+rebuilt lazily once the backoff drains); ``max_retries`` *consecutive*
+faulted intervals trip a permanent fallback to the serial backend.
+
+Faults that are not execution faults — deadlocks, wall-clock budget,
+simulated-program errors — are properties of the simulation itself and
+propagate untouched.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.errors import ExecutionFault
+from repro.obs.log import get_logger
+from repro.resilience.checkpoint import discard, restore, snapshot
+
+_log = get_logger("resilience.supervisor")
+
+
+class Supervisor:
+    """Supervised execution of the simulator's interval loop."""
+
+    def __init__(self, sim, max_retries=3, backoff_intervals=2):
+        from repro.exec.serial import SerialBackend
+        self.sim = sim
+        self.max_retries = max(1, int(max_retries))
+        self.backoff_intervals = max(0, int(backoff_intervals))
+        self._serial = SerialBackend()
+        self._serial.start(sim)
+        self._consecutive = 0
+        self._backoff_left = 0
+        self.recoveries = 0
+        self.fallback_permanent = False
+        #: Handled-fault history: dicts with interval/kind/message/
+        #: context, in order of occurrence.
+        self.history = []
+        sim.supervisor = self
+
+    # ------------------------------------------------------------------
+
+    def run_interval(self, limit):
+        """Execute one interval under supervision; returns the same
+        telemetry tuple as ``ZSim._execute_interval``."""
+        sim = self.sim
+        if self.fallback_permanent:
+            return sim._execute_interval(limit, backend=self._serial)
+        if self._backoff_left > 0:
+            # Degraded stretch after a recovery: serial execution is
+            # the reference semantics, so no snapshot is needed.
+            self._backoff_left -= 1
+            return sim._execute_interval(limit, backend=self._serial)
+        payload = snapshot(sim)
+        try:
+            outcome = sim._execute_interval(limit)
+        except ExecutionFault as fault:
+            return self._recover(fault, payload, limit)
+        self._consecutive = 0
+        discard(sim)
+        return outcome
+
+    # ------------------------------------------------------------------
+
+    def _recover(self, fault, payload, limit):
+        sim = self.sim
+        self._consecutive += 1
+        self.recoveries += 1
+        entry = {
+            "interval": fault.interval,
+            "kind": type(fault).__name__,
+            "message": str(fault),
+            "phase": fault.phase,
+            "worker": fault.worker,
+            "core": fault.core,
+            "domain": fault.domain,
+            "consecutive": self._consecutive,
+        }
+        self.history.append(entry)
+        _log.warning("execution fault (%s) in interval %s: %s — "
+                     "rewinding to the interval barrier and replaying "
+                     "serially", entry["kind"], entry["interval"], fault)
+        traceback_text = getattr(fault, "traceback_text", "")
+        if traceback_text:
+            _log.debug("worker traceback:\n%s", traceback_text)
+        self._note_telemetry(entry)
+        # Order matters: quiesce the pool (epoch bump + join/abandon)
+        # BEFORE restoring, so no straggler job mutates rewound state.
+        recover_start = time.perf_counter()
+        sim.backend.recover()
+        restore(sim, payload)
+        if self._consecutive >= self.max_retries:
+            self._fall_back()
+        else:
+            self._backoff_left = self.backoff_intervals
+        outcome = sim._execute_interval(limit, backend=self._serial)
+        _log.info("interval %s replayed serially in %.3f s",
+                  entry["interval"],
+                  time.perf_counter() - recover_start)
+        return outcome
+
+    def _fall_back(self):
+        if self.fallback_permanent:
+            return
+        sim = self.sim
+        _log.warning("%d consecutive faulted intervals: permanently "
+                     "falling back to the serial backend",
+                     self._consecutive)
+        self.fallback_permanent = True
+        sim.backend.shutdown()
+        sim.backend = self._serial
+        sim.host_model.backend_name = self._serial.name
+
+    def _note_telemetry(self, entry):
+        telem = self.sim._telem
+        if telem is None:
+            return
+        if telem.metrics is not None:
+            telem.metrics.inc("resilience.faults")
+            telem.metrics.inc("resilience.faults.%s" % entry["kind"])
+        if telem.tracer is not None:
+            from repro.obs.tracer import TID_MAIN
+            telem.tracer.instant("execution fault", "resilience",
+                                 TID_MAIN, dict(entry))
+
+    # ------------------------------------------------------------------
+
+    def summary(self):
+        """Counters for the stats tree (``host/resilience``)."""
+        return {
+            "recoveries": self.recoveries,
+            "fallback_permanent": int(self.fallback_permanent),
+            "consecutive": self._consecutive,
+        }

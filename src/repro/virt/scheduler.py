@@ -82,6 +82,34 @@ class Scheduler:
         self.syscalls_handled = 0
 
     # ------------------------------------------------------------------
+    # Checkpointing
+    # ------------------------------------------------------------------
+
+    def __getstate__(self):
+        """Scheduler state is plain data except the lock (a host-side
+        artifact) and the telemetry context; both are dropped and
+        recreated/reattached on load (see repro.resilience)."""
+        state = self.__dict__.copy()
+        state["_lock"] = None
+        state["_telem"] = None
+        return state
+
+    def __setstate__(self, state):
+        self.__dict__.update(state)
+        self._lock = threading.RLock()
+
+    def blocked_report(self):
+        """Per-thread blocked-state snapshot for diagnostics (deadlock
+        errors, supervisor logs): one dict per live thread."""
+        with self._lock:
+            return [{"thread": t.name, "state": t.state,
+                     "core": t.core, "home_core": t.home_core,
+                     "wake_cycle": t.wake_cycle,
+                     "blocked_count": t.blocked_count,
+                     "syscalls": t.syscall_count}
+                    for t in self.live_threads]
+
+    # ------------------------------------------------------------------
     # Thread management
     # ------------------------------------------------------------------
 

@@ -1,0 +1,459 @@
+"""Resilience layer: supervised execution, interval checkpoints, and
+the deterministic fault-injection harness (repro.resilience).
+
+The headline property: a supervised run that recovers from every
+injected host fault produces a stats tree identical to a fault-free
+serial run — faults change wall time and the recovery log, never
+simulated results.
+"""
+
+import dataclasses
+import os
+import pickle
+import zlib
+
+import pytest
+
+from repro.config import (
+    BoundWeaveConfig,
+    CacheConfig,
+    CoreConfig,
+    SystemConfig,
+    small_test_system,
+)
+from repro.core import ZSim
+from repro.errors import (
+    CheckpointError,
+    CheckpointVersionError,
+    ConfigError,
+    DeadlockError,
+    ExecutionFault,
+    WallClockExceeded,
+    WatchdogTimeout,
+    WorkerFailure,
+)
+from repro.exec import make_backend
+from repro.exec.serial import SerialBackend
+from repro.resilience import (
+    FORMAT_VERSION,
+    Checkpointer,
+    FaultPlan,
+    Supervisor,
+    latest,
+    read_checkpoint,
+    write_checkpoint,
+)
+from repro.workloads import mt_workload
+
+WATCHDOG_S = 0.25
+
+#: One spec per fault kind, each exercising a different detection path:
+#: raise -> WorkerFailure, kill/stall/delay -> WatchdogTimeout,
+#: corrupt -> HorizonViolation.
+FAULT_MATRIX = ("raise@2:w0", "kill@2", "stall@3", "delay@2:0.4",
+                "corrupt@3")
+
+
+def _matrix_config(backend):
+    """16 cores over 4 tiles so the weave runs multiple domains and the
+    parallel paths are actually parallel."""
+    cfg = SystemConfig(
+        name="resilience-16c",
+        num_tiles=4,
+        cores_per_tile=4,
+        core=CoreConfig(model="simple"),
+        l1i=CacheConfig(name="l1i", size_kb=4, ways=2, latency=3),
+        l1d=CacheConfig(name="l1d", size_kb=4, ways=4, latency=4),
+        l2=CacheConfig(name="l2", size_kb=16, ways=4, latency=7,
+                       shared_by=4),
+        l2_shared_per_tile=True,
+        l3=CacheConfig(name="l3", size_kb=64, ways=8, latency=14,
+                       banks=4, shared_by=16),
+        boundweave=BoundWeaveConfig(host_threads=4, backend=backend,
+                                    watchdog_budget_s=WATCHDOG_S),
+    )
+    return cfg.validate()
+
+
+def _matrix_sim(backend, instrs=25_000):
+    config = _matrix_config(backend)
+    wl = mt_workload("blackscholes", scale=1 / 64,
+                     num_threads=config.num_cores)
+    return ZSim(config, threads=wl.make_threads(target_instrs=instrs))
+
+
+def _stats_tree(result):
+    tree = result.stats().to_dict()
+    # Host-side stats (wall times, backend name, recovery counters) are
+    # the one legitimate difference between backends and between
+    # faulted and fault-free runs.
+    tree.pop("host", None)
+    return tree
+
+
+@pytest.fixture(scope="module")
+def serial_baseline():
+    """Fault-free serial run of the matrix workload."""
+    return _stats_tree(_matrix_sim("serial").run())
+
+
+# ---------------------------------------------------------------------
+# Fault plan grammar
+# ---------------------------------------------------------------------
+
+
+class TestFaultPlanGrammar:
+    def test_parse_all_kinds_and_selectors(self):
+        plan = FaultPlan.parse(
+            "kill@3:w0; stall@5:w1:0.5; delay@6:0.2; raise@2:c1; "
+            "corrupt@4:d1; raise@7:weave-stage")
+        kinds = [type(f).kind for f in plan.faults]
+        assert kinds == ["kill", "stall", "delay", "raise", "corrupt",
+                        "raise"]
+        kill, stall, delay, raise_, corrupt, staged = plan.faults
+        assert (kill.interval, kill.worker) == (3, 0)
+        assert (stall.worker, stall.seconds) == (1, 0.5)
+        assert delay.seconds == 0.2
+        assert raise_.core == 1
+        assert corrupt.domain == 1
+        assert staged.phase == "weave-stage"
+
+    def test_describe_roundtrips(self):
+        for spec in FAULT_MATRIX:
+            plan = FaultPlan.parse(spec)
+            assert FaultPlan.parse(plan.faults[0].describe()).faults
+
+    @pytest.mark.parametrize("bad", ["", "  ;  ", "explode@3", "kill",
+                                     "kill@x", "kill@3:q9"])
+    def test_malformed_raises_config_error(self, bad):
+        with pytest.raises(ConfigError):
+            FaultPlan.parse(bad)
+
+    def test_config_error_is_a_value_error(self):
+        with pytest.raises(ValueError):
+            FaultPlan.parse("nope@1")
+
+    def test_matching_consumes_a_fault_once(self):
+        plan = FaultPlan.parse("raise@2:w0")
+        ctx = {"interval": 2, "worker": 0, "phase": "bound"}
+        fn = plan.wrap(lambda i: None, ctx, backend=None, epoch=0)
+        assert fn is not None and plan.remaining() == []
+        # Second dispatch with the same context: already consumed.
+        sentinel = object()
+        assert plan.wrap(sentinel, ctx, backend=None, epoch=0) is sentinel
+
+    def test_reset_rearms(self):
+        plan = FaultPlan.parse("raise@2")
+        plan.faults[0].fired = True
+        plan.reset()
+        assert plan.remaining() == plan.faults
+
+
+# ---------------------------------------------------------------------
+# The fault matrix: every fault caught, recovered, and invisible in the
+# final stats
+# ---------------------------------------------------------------------
+
+
+class TestFaultMatrix:
+    @pytest.mark.parametrize("backend", ["parallel", "pipelined"])
+    @pytest.mark.parametrize("spec", FAULT_MATRIX)
+    def test_supervised_run_matches_serial(self, backend, spec,
+                                           serial_baseline):
+        sim = _matrix_sim(backend)
+        plan = FaultPlan.parse(spec, seed=7)
+        sim.backend.fault_plan = plan
+        supervisor = Supervisor(sim, max_retries=3, backoff_intervals=1)
+        tree = _stats_tree(sim.run())
+        assert plan.remaining() == [], "fault never fired: %s" % spec
+        assert supervisor.recoveries >= 1
+        assert not supervisor.fallback_permanent
+        assert tree == serial_baseline
+
+    def test_history_records_fault_context(self, serial_baseline):
+        sim = _matrix_sim("parallel")
+        sim.backend.fault_plan = FaultPlan.parse("raise@2:w0")
+        supervisor = Supervisor(sim, max_retries=3, backoff_intervals=1)
+        sim.run()
+        assert len(supervisor.history) == 1
+        entry = supervisor.history[0]
+        assert entry["kind"] == "WorkerFailure"
+        assert entry["interval"] == 2
+        assert entry["worker"] == 0
+
+    def test_stats_tree_reports_recovery_counters(self):
+        sim = _matrix_sim("parallel")
+        sim.backend.fault_plan = FaultPlan.parse("raise@2:w0")
+        Supervisor(sim, max_retries=3, backoff_intervals=1)
+        tree = sim.run().stats().to_dict()
+        res = tree["host"]["resilience"]
+        assert res["recoveries"] == 1
+        assert res["fallback_permanent"] == 0
+
+
+class TestPermanentFallback:
+    def test_repeated_faults_fall_back_to_serial(self, serial_baseline):
+        sim = _matrix_sim("parallel")
+        sim.backend.fault_plan = FaultPlan.parse("raise@2:w0")
+        supervisor = Supervisor(sim, max_retries=1, backoff_intervals=0)
+        tree = _stats_tree(sim.run())
+        assert supervisor.fallback_permanent
+        assert isinstance(sim.backend, SerialBackend)
+        assert sim.host_model.backend_name == "serial"
+        # Degraded, not wrong: the run still matches the reference.
+        assert tree == serial_baseline
+
+
+# ---------------------------------------------------------------------
+# Unsupervised failure propagation (the satellite fixes in repro.exec)
+# ---------------------------------------------------------------------
+
+
+class TestUnsupervisedPropagation:
+    def test_worker_failure_chains_the_original(self):
+        sim = _matrix_sim("parallel")
+        sim.backend.fault_plan = FaultPlan.parse("raise@2:w0")
+        with pytest.raises(WorkerFailure) as excinfo:
+            sim.run()
+        failure = excinfo.value
+        assert isinstance(failure.__cause__, RuntimeError)
+        assert "injected failure" in str(failure.__cause__)
+        assert "injected failure" in failure.traceback_text
+        assert failure.interval == 2
+        assert isinstance(failure, ExecutionFault)
+
+    def test_killed_worker_surfaces_as_watchdog_timeout(self):
+        sim = _matrix_sim("parallel")
+        sim.backend.fault_plan = FaultPlan.parse("kill@2")
+        with pytest.raises(WatchdogTimeout) as excinfo:
+            sim.run()
+        assert excinfo.value.budget_s == pytest.approx(WATCHDOG_S)
+
+    def test_shutdown_does_not_hang_on_poisoned_pool(self):
+        """After a kill fault the dead worker's inbox never drains;
+        shutdown must bound its sentinel delivery and joins instead of
+        wedging (ZSim.run already shut down once in its finally — this
+        is the explicit second call)."""
+        sim = _matrix_sim("parallel")
+        sim.backend.fault_plan = FaultPlan.parse("kill@2")
+        backend = sim.backend
+        with pytest.raises(WatchdogTimeout):
+            sim.run()
+        backend.shutdown()  # must return promptly, not hang
+        assert backend._workers == []
+
+    def test_run_shuts_backend_down_when_backend_raises(self,
+                                                        tiny_config):
+        shutdowns = []
+
+        class Exploding(SerialBackend):
+            def run_bound_pass(self, bound, cores, limit_cycle,
+                               timings):
+                raise RuntimeError("host backend exploded")
+
+            def shutdown(self):
+                shutdowns.append(True)
+
+        wl = mt_workload("blackscholes", scale=1 / 64, num_threads=4)
+        sim = ZSim(tiny_config,
+                   threads=wl.make_threads(target_instrs=2_000),
+                   backend=Exploding())
+        with pytest.raises(RuntimeError, match="exploded"):
+            sim.run()
+        assert shutdowns  # the try/finally in ZSim.run fired
+
+
+# ---------------------------------------------------------------------
+# Typed errors (satellites)
+# ---------------------------------------------------------------------
+
+
+class TestTypedErrors:
+    def _deadlocked_sim(self, tiny_config):
+        from repro.dbt.instrumentation import InstrumentedStream
+        from repro.isa.opcodes import Opcode
+        from repro.isa.program import BBLExec, Instruction, Program
+        from repro.virt import SimThread
+        from repro.virt.syscalls import FutexWait
+
+        program = Program("dead")
+        block = program.add_block([Instruction(Opcode.SYSCALL)])
+
+        def stuck(key):
+            yield BBLExec(block, (), syscall=FutexWait(key))
+
+        return ZSim(tiny_config, threads=[
+            SimThread(InstrumentedStream(stuck("a")), name="spin-a"),
+            SimThread(InstrumentedStream(stuck("b")), name="spin-b")])
+
+    def test_deadlock_is_typed_and_carries_the_blocked_set(
+            self, tiny_config):
+        sim = self._deadlocked_sim(tiny_config)
+        with pytest.raises(DeadlockError) as excinfo:
+            sim.run()
+        err = excinfo.value
+        assert isinstance(err, RuntimeError)  # old handlers keep working
+        assert err.next_wake is None
+        names = {entry["thread"] for entry in err.blocked}
+        assert names == {"spin-a", "spin-b"}
+
+    def test_unknown_backend_is_a_typed_config_error(self):
+        with pytest.raises(ConfigError):
+            make_backend("quantum")
+        with pytest.raises(ValueError, match="backend"):
+            make_backend("quantum")
+
+    def test_config_validation_raises_config_error(self):
+        cfg = small_test_system(num_cores=2)
+        cfg = dataclasses.replace(
+            cfg, boundweave=dataclasses.replace(cfg.boundweave,
+                                                watchdog_budget_s=-1.0))
+        with pytest.raises(ConfigError, match="watchdog"):
+            cfg.validate()
+        cfg = small_test_system(num_cores=2)
+        cfg = dataclasses.replace(
+            cfg, boundweave=dataclasses.replace(cfg.boundweave,
+                                                recovery_max_retries=0))
+        with pytest.raises(ConfigError, match="retries"):
+            cfg.validate()
+
+
+# ---------------------------------------------------------------------
+# Wall-clock budget
+# ---------------------------------------------------------------------
+
+
+class TestWallClockBudget:
+    def _sim(self, tmp_path=None):
+        cfg = small_test_system(num_cores=4)
+        wl = mt_workload("blackscholes", scale=1 / 64, num_threads=4)
+        sim = ZSim(cfg, threads=wl.make_threads(target_instrs=8_000))
+        if tmp_path is not None:
+            sim.checkpointer = Checkpointer(str(tmp_path), every=1)
+        return sim
+
+    def test_exhausted_budget_raises_typed_error(self):
+        sim = self._sim()
+        sim.max_wall_seconds = 0.0
+        with pytest.raises(WallClockExceeded) as excinfo:
+            sim.run()
+        err = excinfo.value
+        assert err.budget_s == 0.0
+        assert err.checkpoint_path is None
+
+    def test_budget_stop_writes_a_final_checkpoint(self, tmp_path):
+        sim = self._sim(tmp_path / "ckpt")
+        sim.max_wall_seconds = 0.0
+        with pytest.raises(WallClockExceeded) as excinfo:
+            sim.run()
+        path = excinfo.value.checkpoint_path
+        assert path is not None and os.path.exists(path)
+        assert read_checkpoint(path)["version"] == FORMAT_VERSION
+
+
+# ---------------------------------------------------------------------
+# Checkpoint format and resume
+# ---------------------------------------------------------------------
+
+
+def _small_sim(instrs=8_000):
+    cfg = small_test_system(num_cores=4)
+    wl = mt_workload("blackscholes", scale=1 / 64, num_threads=4)
+    return ZSim(cfg, threads=wl.make_threads(target_instrs=instrs)), wl
+
+
+class TestCheckpointFormat:
+    def test_roundtrip_preserves_capsule_fields(self, tmp_path):
+        sim, _ = _small_sim()
+        path = str(tmp_path / "ckpt.pkl")
+        write_checkpoint(path, sim, interval=0, limit=1000,
+                         meta={"workload": "blackscholes"})
+        capsule = read_checkpoint(path)
+        assert capsule["version"] == FORMAT_VERSION
+        assert capsule["interval"] == 0
+        assert capsule["limit"] == 1000
+        assert capsule["backend"] == "serial"
+        assert capsule["meta"] == {"workload": "blackscholes"}
+        assert capsule["config_name"] == sim.config.name
+
+    def test_not_a_checkpoint_file(self, tmp_path):
+        path = tmp_path / "junk.pkl"
+        path.write_bytes(b"hello world\nnot a checkpoint")
+        with pytest.raises(CheckpointError):
+            read_checkpoint(str(path))
+
+    def test_version_skew_is_typed(self, tmp_path):
+        body = pickle.dumps({})
+        path = tmp_path / "future.pkl"
+        path.write_bytes(b"repro-ckpt %d %08x\n"
+                         % (FORMAT_VERSION + 1, zlib.crc32(body))
+                         + body)
+        with pytest.raises(CheckpointVersionError) as excinfo:
+            read_checkpoint(str(path))
+        assert excinfo.value.found == FORMAT_VERSION + 1
+        assert excinfo.value.expected == FORMAT_VERSION
+
+    def test_corrupt_payload_fails_the_checksum(self, tmp_path):
+        sim, _ = _small_sim()
+        path = str(tmp_path / "ckpt.pkl")
+        write_checkpoint(path, sim, interval=0, limit=1000)
+        blob = bytearray(open(path, "rb").read())
+        blob[-1] ^= 0xFF
+        open(path, "wb").write(bytes(blob))
+        with pytest.raises(CheckpointError, match="checksum"):
+            read_checkpoint(path)
+
+    def test_latest_picks_highest_interval(self, tmp_path):
+        assert latest(str(tmp_path)) is None
+        for interval in (3, 12, 7):
+            (tmp_path / ("ckpt-%08d.pkl" % interval)).write_bytes(b"")
+        assert latest(str(tmp_path)).endswith("ckpt-%08d.pkl" % 12)
+
+    def test_checkpointer_stride_and_prune(self, tmp_path):
+        sim, _ = _small_sim()
+        ckpt = Checkpointer(str(tmp_path), every=2, keep=2)
+        for interval in range(1, 7):
+            ckpt.maybe_save(sim, interval, limit=1000 * interval)
+        names = sorted(os.listdir(str(tmp_path)))
+        assert names == ["ckpt-%08d.pkl" % 4, "ckpt-%08d.pkl" % 6]
+        assert ckpt.saved == 3  # intervals 2, 4, 6
+
+
+class TestResume:
+    def test_resume_matches_uninterrupted_run(self, tmp_path):
+        baseline_sim, _ = _small_sim()
+        baseline = _stats_tree(baseline_sim.run())
+
+        partial, wl = _small_sim()
+        partial.checkpointer = Checkpointer(str(tmp_path), every=1)
+        partial.run(max_intervals=5)  # "killed" mid-run
+
+        capsule = read_checkpoint(latest(str(tmp_path)))
+        threads = wl.make_threads(target_instrs=8_000)
+        resumed = ZSim.resume(capsule, threads)
+        assert _stats_tree(resumed.run()) == baseline
+
+    def test_resume_after_fault_recovery_matches(self, tmp_path,
+                                                 serial_baseline):
+        """Checkpointing composes with supervision: recover from a kill
+        fault, checkpoint, stop, resume, and the stats still match."""
+        sim = _matrix_sim("parallel")
+        sim.backend.fault_plan = FaultPlan.parse("kill@2")
+        Supervisor(sim, max_retries=3, backoff_intervals=1)
+        sim.checkpointer = Checkpointer(str(tmp_path), every=1)
+        sim.run(max_intervals=6)
+
+        capsule = read_checkpoint(latest(str(tmp_path)))
+        wl = mt_workload("blackscholes", scale=1 / 64, num_threads=16)
+        resumed = ZSim.resume(capsule, wl.make_threads(
+            target_instrs=25_000))
+        assert _stats_tree(resumed.run()) == serial_baseline
+
+    def test_resume_rejects_wrong_thread_count(self, tmp_path):
+        sim, wl = _small_sim()
+        path = str(tmp_path / "ckpt.pkl")
+        write_checkpoint(path, sim, interval=0, limit=1000)
+        capsule = read_checkpoint(path)
+        threads = wl.make_threads(target_instrs=8_000)[:-1]
+        with pytest.raises(CheckpointError, match="threads"):
+            ZSim.resume(capsule, threads)
