@@ -133,6 +133,10 @@ def _setup_resilience(args, sim, meta):
     from repro.resilience import Checkpointer, FaultPlan, Supervisor
     if args.watchdog_budget:
         sim.backend.watchdog_budget = args.watchdog_budget
+    if getattr(args, "pool_size", None):
+        sim.backend.pool_size = args.pool_size
+    if getattr(args, "heartbeat_budget", None):
+        sim.backend.heartbeat_budget_s = args.heartbeat_budget
     if args.inject_faults:
         sim.backend.fault_plan = FaultPlan.parse(args.inject_faults)
     if args.supervise or args.inject_faults:
@@ -144,6 +148,56 @@ def _setup_resilience(args, sim, meta):
                                         meta=meta)
     if args.max_wall_seconds:
         sim.max_wall_seconds = args.max_wall_seconds
+
+
+class _GracefulStop:
+    """SIGTERM/SIGINT handler for ``repro run``: the first signal asks
+    the simulator to stop at the next interval barrier (final
+    checkpoint + EXIT_WALL_BUDGET, same path as an exhausted wall-clock
+    budget); a second signal takes the previous disposition, so it
+    force-quits."""
+
+    SIGNALS = ("SIGTERM", "SIGINT")
+
+    def __init__(self, sim):
+        self.sim = sim
+        self._previous = {}
+
+    def __enter__(self):
+        import signal
+        for name in self.SIGNALS:
+            signum = getattr(signal, name, None)
+            if signum is None:
+                continue
+            try:
+                self._previous[signum] = signal.signal(signum,
+                                                       self._handle)
+            except (ValueError, OSError):
+                pass  # not the main thread / unsupported platform
+        return self
+
+    def __exit__(self, *exc_info):
+        import signal
+        for signum, previous in self._previous.items():
+            try:
+                signal.signal(signum, previous)
+            except (ValueError, OSError):
+                pass
+        self._previous.clear()
+        return False
+
+    def _handle(self, signum, frame):
+        import signal
+        self.sim.request_stop("signal %s"
+                              % getattr(signal.Signals(signum), "name",
+                                        signum))
+        # One graceful chance: the next signal acts normally (Ctrl-C
+        # twice kills a wedged run).
+        previous = self._previous.pop(signum, signal.SIG_DFL)
+        try:
+            signal.signal(signum, previous)
+        except (ValueError, OSError):
+            pass
 
 
 def cmd_run(args):
@@ -165,8 +219,11 @@ def cmd_run(args):
                    telemetry=telemetry, backend=args.backend)
     _setup_resilience(args, sim, meta)
     try:
-        result = sim.run()
+        with _GracefulStop(sim):
+            result = sim.run()
     except WallClockExceeded as exc:
+        # Covers RunInterrupted too (SIGTERM/SIGINT): same resumable
+        # exit, no traceback.
         print("stopped: %s" % exc)
         if exc.checkpoint_path:
             print("resume with: repro run --resume %s <original flags>"
@@ -182,6 +239,8 @@ def cmd_run(args):
               % (summary["recoveries"],
                  " — fell back to the serial backend permanently"
                  if summary["fallback_permanent"] else ""))
+        if summary.get("demotions"):
+            print("  degradation ladder: %s" % summary["demotion_path"])
     print("  instrs  : %d" % result.instrs)
     print("  cycles  : %d" % result.cycles)
     print("  IPC     : %.3f" % result.ipc)
@@ -313,6 +372,17 @@ def build_parser():
                           "the host; simulated results are identical "
                           "across backends; default: config's "
                           "boundweave.backend)")
+    run.add_argument("--pool-size", type=int, default=None, metavar="N",
+                     help="process backend: worker processes forked "
+                          "per interval (overrides "
+                          "boundweave.process_workers; default: host "
+                          "CPUs minus one)")
+    run.add_argument("--heartbeat-budget", type=float, default=None,
+                     metavar="SECONDS",
+                     help="process backend: seconds without a worker "
+                          "heartbeat before the driver kills "
+                          "stragglers and runs their cores inline "
+                          "(overrides boundweave.heartbeat_budget_s)")
     run.add_argument("--stats-json", "--stats-out", dest="stats_out",
                      default=None,
                      help="write the stats tree (incl. host speedup "

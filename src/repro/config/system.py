@@ -152,8 +152,16 @@ class BoundWeaveConfig:
     #: typed WatchdogTimeout (see repro.resilience).  0 disables.
     watchdog_budget_s: float = 0.0
     #: Supervisor: consecutive faulted intervals tolerated before the
-    #: run permanently falls back to the serial backend.
+    #: run degrades down the backend ladder (process -> parallel ->
+    #: serial); on serial it falls back permanently.
     recovery_max_retries: int = 3
+    #: Process backend: OS worker processes forked per interval.
+    #: 0 = auto (host CPU count minus one, capped by host_threads).
+    process_workers: int = 0
+    #: Process backend: seconds without a worker heartbeat (or any pipe
+    #: message) before the driver kills stragglers and runs their cores
+    #: inline.
+    heartbeat_budget_s: float = 10.0
 
 
 @dataclass
@@ -210,13 +218,17 @@ class SystemConfig:
         if self.boundweave.interval_cycles < 10:
             raise ConfigError("Interval too short")
         if self.boundweave.backend not in ("serial", "parallel",
-                                           "pipelined"):
+                                           "pipelined", "process"):
             raise ConfigError("Unknown execution backend: %r"
                               % (self.boundweave.backend,))
         if self.boundweave.watchdog_budget_s < 0:
             raise ConfigError("watchdog_budget_s must be >= 0")
         if self.boundweave.recovery_max_retries < 1:
             raise ConfigError("recovery_max_retries must be >= 1")
+        if self.boundweave.process_workers < 0:
+            raise ConfigError("process_workers must be >= 0 (0 = auto)")
+        if self.boundweave.heartbeat_budget_s <= 0:
+            raise ConfigError("heartbeat_budget_s must be > 0")
         return self
 
     def core_tile(self, core_id):

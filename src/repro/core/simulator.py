@@ -15,7 +15,8 @@ import time
 
 from repro.core.bound import BoundPhase
 from repro.core.domains import CoreWeave
-from repro.errors import CheckpointError, DeadlockError, WallClockExceeded
+from repro.errors import (CheckpointError, DeadlockError, RunInterrupted,
+                          WallClockExceeded)
 from repro.core.host import HostModel
 from repro.core.weave import WeaveEngine
 from repro.cpu import make_core
@@ -96,6 +97,9 @@ class SimulationResult:
         supervisor = getattr(sim, "supervisor", None)
         self.resilience = (supervisor.summary()
                            if supervisor is not None else None)
+        backend = getattr(sim, "backend", None)
+        self.host_exec = (backend.host_stats()
+                          if backend is not None else {})
 
     @property
     def mips(self):
@@ -140,6 +144,13 @@ class SimulationResult:
         self.hierarchy.fill_stats(root.child("mem"))
         host = root.child("host")
         self.host_model.fill_stats(host)
+        if self.host_exec:
+            # Backend pool counters (worker deaths, respawns,
+            # speculation outcomes) are host-side too: under host/ they
+            # never perturb simulated-result comparisons.
+            node = host.child("exec")
+            for key, value in sorted(self.host_exec.items()):
+                node.set(key, value)
         if self.resilience:
             # Host-side supervision counters live under host/ so stats
             # comparisons that exclude host wall-clock noise exclude
@@ -235,6 +246,9 @@ class ZSim:
         self.supervisor = None
         self.checkpointer = None
         self.max_wall_seconds = None
+        #: Cooperative stop: set by request_stop() (signal handlers);
+        #: checked at each interval barrier, where state is consistent.
+        self._stop_requested = None
         self._resume = None
         #: Periodic stats sampling (zsim's periodic HDF5 dumps): every
         #: N intervals a (cycle, instrs) sample is appended.
@@ -302,6 +316,7 @@ class ZSim:
             while not self._done(self.scheduler, intervals_run,
                                  max_instrs, max_cycles, max_intervals):
                 self._check_wall_budget(start_wall, intervals_run, limit)
+                self._check_stop_request(intervals_run, limit)
                 if self.supervisor is not None:
                     outcome = self.supervisor.run_interval(limit)
                 else:
@@ -374,6 +389,31 @@ class ZSim:
             % (budget, elapsed, intervals_run,
                "; resume from %s" % path if path else ""),
             budget_s=budget, elapsed_s=elapsed, intervals=intervals_run,
+            checkpoint_path=path)
+
+    def request_stop(self, reason="stop requested"):
+        """Ask the run to stop at the next interval barrier (safe to
+        call from a signal handler: only sets a flag).  The run loop
+        then writes a final checkpoint (when checkpointing is on) and
+        raises :class:`~repro.errors.RunInterrupted` — the same
+        resumable exit path as an exhausted wall-clock budget."""
+        self._stop_requested = reason
+
+    def _check_stop_request(self, intervals_run, limit):
+        """Honor request_stop() at the interval barrier (a consistent
+        global state, so the final checkpoint is sound)."""
+        # getattr: checkpoints written by older builds predate the flag.
+        reason = getattr(self, "_stop_requested", None)
+        if reason is None:
+            return
+        path = None
+        if self.checkpointer is not None:
+            path = self.checkpointer.save(self, intervals_run, limit)
+        raise RunInterrupted(
+            "run interrupted (%s) after %d intervals%s"
+            % (reason, intervals_run,
+               "; resume from %s" % path if path else ""),
+            reason=reason, intervals=intervals_run,
             checkpoint_path=path)
 
     def _done(self, scheduler, intervals_run, max_instrs, max_cycles,

@@ -106,6 +106,15 @@ class HorizonViolation(ExecutionFault):
         self.floor = floor
 
 
+class ProcessPoolError(ExecutionFault):
+    """The process backend's worker pool failed systemically: fork
+    itself errored, the whole pool died repeatedly, or a speculation
+    replay diverged from its validated prefix.  Individual worker
+    deaths never raise this — they degrade to inline execution — so
+    when it does surface, the supervisor's degradation ladder demotes
+    the backend a rung (process -> parallel -> serial)."""
+
+
 class WallClockExceeded(SimulationError):
     """The run outlived ``--max-wall-seconds``.  When checkpointing is
     on, ``checkpoint_path`` names the snapshot written on the way out
@@ -118,6 +127,18 @@ class WallClockExceeded(SimulationError):
         self.elapsed_s = elapsed_s
         self.intervals = intervals
         self.checkpoint_path = checkpoint_path
+
+
+class RunInterrupted(WallClockExceeded):
+    """The run was stopped by an external request (SIGTERM/SIGINT to
+    ``repro run``).  A subclass of :class:`WallClockExceeded` on
+    purpose: an interrupted run takes exactly the budget-exhausted exit
+    path — final checkpoint when checkpointing is on, exit code 75,
+    resumable — instead of dying with a traceback."""
+
+    def __init__(self, message, reason=None, **kwargs):
+        super().__init__(message, **kwargs)
+        self.reason = reason
 
 
 class CheckpointError(SimulationError):

@@ -22,6 +22,12 @@ Three backends ship:
   on the driver thread while a dedicated weave-stage thread consumes
   intervals from a bounded queue (the paper's stated future work, modeled
   by ``HostModel.pipelined_*``).
+* :class:`ProcessBackend` — crash-tolerant speculation on real OS worker
+  processes forked at the interval barrier: workers speculate bound-phase
+  core runs against a copy-on-write replica, the driver validates the
+  recorded accesses against the authoritative hierarchy and commits (or
+  re-runs inline); a worker dying mid-interval can only cost wasted
+  speculation, never corrupted state.
 
 The cardinal invariant (the ZSim property the equivalence suite pins):
 backends may change *wall time*, never *simulated results*.  For one
@@ -33,22 +39,25 @@ from repro.errors import ConfigError
 from repro.exec.backend import ExecutionBackend
 from repro.exec.parallel import ParallelBackend
 from repro.exec.pipelined import PipelinedBackend
+from repro.exec.process import ProcessBackend
 from repro.exec.serial import SerialBackend
 
 #: Valid names for ``--backend`` / ``config.boundweave.backend``.
-BACKEND_NAMES = ("serial", "parallel", "pipelined")
+BACKEND_NAMES = ("serial", "parallel", "pipelined", "process")
 
 _BACKENDS = {
     "serial": SerialBackend,
     "parallel": ParallelBackend,
     "pipelined": PipelinedBackend,
+    "process": ProcessBackend,
 }
 
 
 def make_backend(name, host_threads=None):
     """Instantiate a backend by name (``serial``/``parallel``/
-    ``pipelined``); raises :class:`~repro.errors.ConfigError` (a
-    ValueError subclass) for unknown names."""
+    ``pipelined``/``process``); raises
+    :class:`~repro.errors.ConfigError` (a ValueError subclass) for
+    unknown names."""
     try:
         cls = _BACKENDS[name]
     except KeyError:
@@ -62,6 +71,7 @@ __all__ = [
     "ExecutionBackend",
     "ParallelBackend",
     "PipelinedBackend",
+    "ProcessBackend",
     "SerialBackend",
     "make_backend",
 ]

@@ -104,5 +104,11 @@ class ExecutionBackend:
         """Record per-worker idle time into ``metrics`` (one histogram
         sample per worker per interval).  No-op for inline backends."""
 
+    def host_stats(self):
+        """Host-side backend counters for ``stats()["host"]["exec"]``
+        (pool sizes, worker deaths, respawns, speculation outcomes).
+        An empty dict (the default) omits the node entirely."""
+        return {}
+
     def __repr__(self):
         return "%s(%r)" % (type(self).__name__, self.name)

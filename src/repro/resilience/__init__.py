@@ -15,13 +15,16 @@ from repro.resilience.checkpoint import (Checkpointer, capture_state,
                                          restore, snapshot,
                                          write_checkpoint, FORMAT_VERSION)
 from repro.resilience.faults import (CorruptEvent, DelayJob, Fault,
-                                     FaultPlan, KillWorker, RaiseInJob,
+                                     FaultPlan, KillWorker,
+                                     ProcessSignalFault, RaiseInJob,
+                                     SigKillWorker, SigStopWorker,
                                      StallWorker)
 from repro.resilience.supervisor import Supervisor
 
 __all__ = [
     "Checkpointer", "CorruptEvent", "DelayJob", "Fault", "FaultPlan",
-    "FORMAT_VERSION", "KillWorker", "RaiseInJob", "StallWorker",
-    "Supervisor", "capture_state", "discard", "latest",
-    "read_checkpoint", "restore", "snapshot", "write_checkpoint",
+    "FORMAT_VERSION", "KillWorker", "ProcessSignalFault", "RaiseInJob",
+    "SigKillWorker", "SigStopWorker", "StallWorker", "Supervisor",
+    "capture_state", "discard", "latest", "read_checkpoint", "restore",
+    "snapshot", "write_checkpoint",
 ]

@@ -45,8 +45,12 @@ _log = get_logger("resilience.checkpoint")
 
 def _detached(sim):
     """Attribute names on ZSim that hold host-side machinery (threads,
-    file handles, supervision state) and must survive a restore."""
-    return ("backend", "supervisor", "checkpointer", "_telem")
+    file handles, supervision state) and must survive a restore.
+    ``_stop_requested`` is here for both directions: a capsule must not
+    embalm a pending SIGTERM (the resumed run would instantly stop
+    again), and an interval replay must not swallow one."""
+    return ("backend", "supervisor", "checkpointer", "_telem",
+            "_stop_requested")
 
 
 def capture_state(sim):
@@ -139,7 +143,10 @@ def write_checkpoint(path, sim, interval, limit, meta=None):
     body = pickle.dumps(capsule, protocol=pickle.HIGHEST_PROTOCOL)
     header = b"%s %d %08x\n" % (MAGIC, FORMAT_VERSION,
                                 zlib.crc32(body) & 0xFFFFFFFF)
-    tmp = path + ".tmp"
+    # PID-unique temp name: two runs sharing a checkpoint directory
+    # must not clobber each other's in-flight write (the rename itself
+    # is atomic either way).
+    tmp = "%s.%d.tmp" % (path, os.getpid())
     with open(tmp, "wb") as fh:
         fh.write(header)
         fh.write(body)
@@ -174,6 +181,18 @@ def read_checkpoint(path):
     return capsule
 
 
+def _parse_interval(name):
+    """Interval number of a checkpoint filename, or None.  Accepts both
+    the current run-qualified form (``ckpt-<runid>-<interval>.pkl``) and
+    the legacy unqualified one (``ckpt-<interval>.pkl``)."""
+    if not (name.startswith("ckpt-") and name.endswith(".pkl")):
+        return None
+    try:
+        return int(name[5:-4].rsplit("-", 1)[-1])
+    except ValueError:
+        return None
+
+
 def latest(directory):
     """Path of the highest-interval checkpoint in ``directory``, or
     None when there is none."""
@@ -184,28 +203,36 @@ def latest(directory):
     except OSError:
         return None
     for name in names:
-        if name.startswith("ckpt-") and name.endswith(".pkl"):
-            try:
-                interval = int(name[5:-4])
-            except ValueError:
-                continue
-            if interval > best_interval:
-                best_interval = interval
-                best = os.path.join(directory, name)
+        interval = _parse_interval(name)
+        if interval is not None and interval > best_interval:
+            best_interval = interval
+            best = os.path.join(directory, name)
     return best
 
 
 class Checkpointer:
-    """Periodic on-disk checkpointing at interval strides."""
+    """Periodic on-disk checkpointing at interval strides.
 
-    def __init__(self, directory, every=1, keep=2, meta=None):
+    Each Checkpointer stamps its files with a per-run id
+    (``ckpt-<runid>-<interval>.pkl``) and prunes **only its own**
+    files: two runs sharing ``--checkpoint-dir`` can no longer delete
+    each other's newest checkpoints out from under a resume.
+    ``latest()`` still reads both runs' files (and legacy unqualified
+    names), picking the highest interval."""
+
+    def __init__(self, directory, every=1, keep=2, meta=None,
+                 run_id=None):
         self.directory = directory
         self.every = max(1, int(every))
         self.keep = max(1, int(keep))
         self.meta = dict(meta or {})
+        self.run_id = run_id or os.urandom(4).hex()
         self.saved = 0
         self.last_path = None
         os.makedirs(directory, exist_ok=True)
+
+    def _prefix(self):
+        return "ckpt-%s-" % self.run_id
 
     def maybe_save(self, sim, interval, limit):
         """Save when ``interval`` lands on the stride; returns the path
@@ -215,7 +242,8 @@ class Checkpointer:
         return self.save(sim, interval, limit)
 
     def save(self, sim, interval, limit):
-        path = os.path.join(self.directory, "ckpt-%08d.pkl" % interval)
+        path = os.path.join(self.directory,
+                            "%s%08d.pkl" % (self._prefix(), interval))
         write_checkpoint(path, sim, interval, limit, self.meta)
         self.saved += 1
         self.last_path = path
@@ -223,9 +251,10 @@ class Checkpointer:
         return path
 
     def _prune(self):
+        prefix = self._prefix()
         kept = sorted(
             (name for name in os.listdir(self.directory)
-             if name.startswith("ckpt-") and name.endswith(".pkl")))
+             if name.startswith(prefix) and name.endswith(".pkl")))
         for name in kept[:-self.keep]:
             try:
                 os.unlink(os.path.join(self.directory, name))

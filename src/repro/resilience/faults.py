@@ -28,6 +28,12 @@ The plan grammar (CLI ``--inject-faults``) is ``;``-separated entries::
     delay@6:w0:0.2     worker 0's job sleeps 0.2 s before running
     raise@2:c1         the job simulating core 1 raises after running
     corrupt@4:d1       corrupt a queued timestamp in weave domain 1
+    sigkill@3:w0       SIGKILL worker process 0 at interval 3
+    sigstop@4          SIGSTOP a (seeded-)random worker at interval 4
+
+``sigkill``/``sigstop`` are *real-process* faults: the process backend
+delivers the signal to a live OS worker right after forking its pool
+(``plan.process_faults``); thread backends never match them.
 
 Selectors: ``w<N>`` worker index, ``c<N>`` core id, ``d<N>`` domain id,
 or a literal phase name (``bound``, ``weave``, ``weave-stage``).
@@ -37,6 +43,7 @@ Intervals are 1-based, matching the engine's interval counters.
 from __future__ import annotations
 
 import random
+import signal
 import time
 
 from repro.errors import ConfigError
@@ -53,6 +60,9 @@ class Fault:
     #: Dispatch faults are consulted by ``plan.wrap``; non-dispatch
     #: faults (queue corruption) by ``plan.corrupt``.
     dispatch = True
+    #: Real-process faults (signals to live worker processes) are
+    #: consulted by ``plan.process_faults`` instead of either seam.
+    process = False
 
     def __init__(self, interval, worker=None, core=None, domain=None,
                  phase=None, seconds=None):
@@ -193,8 +203,47 @@ class CorruptEvent(Fault):
         return False
 
 
+class ProcessSignalFault(Fault):
+    """Base for real-process faults: a signal delivered to a live OS
+    worker process (the process backend's pool).  Applied by the
+    backend right after it forks the pool for the matching interval;
+    the ``w<N>`` selector picks the victim slot, otherwise a seeded
+    random worker dies."""
+
+    dispatch = False
+    process = True
+    signum = None
+
+    def pick_worker(self, num_workers, rng=None):
+        """Victim slot when no ``w<N>`` selector was given (or the
+        selector is out of range for this pass)."""
+        rng = rng or random
+        return rng.randrange(max(1, num_workers))
+
+
+class SigKillWorker(ProcessSignalFault):
+    """SIGKILL a live worker process mid-interval: the hard host fault
+    (OOM killer, operator kill).  The driver sees the pipe close and
+    runs the worker's cores inline; the pool is respawned at the next
+    barrier."""
+
+    kind = "sigkill"
+    signum = signal.SIGKILL
+
+
+class SigStopWorker(ProcessSignalFault):
+    """SIGSTOP a live worker process: it stays alive but silent, so the
+    only symptom is missing heartbeats — the heartbeat budget is what
+    surfaces it (the driver kills the stopped worker and degrades its
+    cores to inline execution)."""
+
+    kind = "sigstop"
+    signum = signal.SIGSTOP
+
+
 _KINDS = {cls.kind: cls for cls in (KillWorker, StallWorker, DelayJob,
-                                    RaiseInJob, CorruptEvent)}
+                                    RaiseInJob, CorruptEvent,
+                                    SigKillWorker, SigStopWorker)}
 
 
 class FaultPlan:
@@ -264,9 +313,23 @@ class FaultPlan:
     def corrupt(self, weave, interval):
         """Called after an executor seeds the weave queues."""
         for fault in self.faults:
-            if (not fault.dispatch and not fault.fired
-                    and fault.interval == interval):
+            if (not fault.dispatch and not fault.process
+                    and not fault.fired and fault.interval == interval):
                 fault.apply(weave, self._rng)
+
+    def process_faults(self, interval):
+        """Unfired real-process faults for ``interval`` (the process
+        backend applies them right after forking its pool; the backend
+        marks them fired once the signal is delivered)."""
+        return [fault for fault in self.faults
+                if fault.process and not fault.fired
+                and fault.interval == interval]
+
+    @property
+    def rng(self):
+        """The plan's seeded RNG (victim selection for process faults
+        without a ``w<N>`` selector stays deterministic per seed)."""
+        return self._rng
 
     # -- bookkeeping ---------------------------------------------------
 

@@ -12,11 +12,28 @@ engine guarantees:
 
 Per supervised interval: snapshot, execute on the configured backend,
 and on any :class:`~repro.errors.ExecutionFault` (worker death, watchdog
-timeout, horizon violation) quiesce the backend (``recover()``), restore
-the snapshot, and re-run the interval serially.  After a recovery the
-next ``backoff_intervals`` intervals run serially too (the pool is
-rebuilt lazily once the backoff drains); ``max_retries`` *consecutive*
-faulted intervals trip a permanent fallback to the serial backend.
+timeout, horizon violation, process-pool failure) quiesce the backend
+(``recover()``), restore the snapshot, and re-run the interval serially.
+
+After a recovery the next few intervals run serially too, with
+*decorrelated jitter* on the stretch length (AWS-style: each backoff is
+drawn between the base and three times the previous draw, capped at
+eight times the base) so that a periodic external disturbance cannot
+phase-lock with the retry schedule.  The jitter RNG is seeded from the
+engine seed: the schedule is random-looking but reproducible.
+
+``max_retries`` *consecutive* faulted intervals demote the run one rung
+down the **degradation ladder**::
+
+    process -> parallel -> serial
+    pipelined ----------^
+
+Each demotion builds and adopts the next backend (transferring the
+watchdog budget and fault plan) and resets the consecutive-fault
+counter, so a systemically failing process pool degrades to threads
+before giving up on parallelism entirely.  Landing on serial is the
+permanent fallback — serial is the reference semantics and cannot
+execution-fault.
 
 Faults that are not execution faults — deadlocks, wall-clock budget,
 simulated-program errors — are properties of the simulation itself and
@@ -25,6 +42,7 @@ propagate untouched.
 
 from __future__ import annotations
 
+import random
 import time
 
 from repro.errors import ExecutionFault
@@ -33,23 +51,42 @@ from repro.resilience.checkpoint import discard, restore, snapshot
 
 _log = get_logger("resilience.supervisor")
 
+#: One rung down per ``max_retries`` consecutive faults; serial is the
+#: floor (the reference backend cannot execution-fault).
+_LADDER = {"process": "parallel", "parallel": "serial",
+           "pipelined": "serial"}
+
+#: Jitter cap: a backoff draw never exceeds this multiple of the base.
+_BACKOFF_CAP = 8
+
 
 class Supervisor:
     """Supervised execution of the simulator's interval loop."""
 
-    def __init__(self, sim, max_retries=3, backoff_intervals=2):
+    def __init__(self, sim, max_retries=3, backoff_intervals=2,
+                 seed=None):
         from repro.exec.serial import SerialBackend
         self.sim = sim
         self.max_retries = max(1, int(max_retries))
+        #: Base (minimum) serial stretch after a recovery; the actual
+        #: stretch is jittered (see ``_next_backoff``).  0 disables.
         self.backoff_intervals = max(0, int(backoff_intervals))
+        if seed is None:
+            seed = getattr(sim.config.boundweave, "seed", 0)
+        self._rng = random.Random(seed)
         self._serial = SerialBackend()
         self._serial.start(sim)
         self._consecutive = 0
         self._backoff_left = 0
+        self._prev_backoff = 0
         self.recoveries = 0
         self.fallback_permanent = False
+        self.last_backoff_intervals = 0
+        self.total_backoff_intervals = 0
+        #: Ladder demotions, in order: dicts with interval/from/to.
+        self.demotions = []
         #: Handled-fault history: dicts with interval/kind/message/
-        #: context, in order of occurrence.
+        #: context/attempt/backoff, in order of occurrence.
         self.history = []
         sim.supervisor = self
 
@@ -72,10 +109,25 @@ class Supervisor:
         except ExecutionFault as fault:
             return self._recover(fault, payload, limit)
         self._consecutive = 0
+        self._prev_backoff = 0
         discard(sim)
         return outcome
 
     # ------------------------------------------------------------------
+
+    def _next_backoff(self):
+        """Decorrelated-jitter backoff draw (in intervals): uniform in
+        ``[base, min(3 * previous, cap * base)]``.  Consecutive faults
+        stretch the window geometrically; a success (or a demotion)
+        resets it."""
+        base = self.backoff_intervals
+        if base <= 0:
+            return 0
+        prev = self._prev_backoff or base
+        hi = max(base, min(prev * 3, base * _BACKOFF_CAP))
+        draw = self._rng.randint(base, hi)
+        self._prev_backoff = draw
+        return draw
 
     def _recover(self, fault, payload, limit):
         sim = self.sim
@@ -89,6 +141,7 @@ class Supervisor:
             "worker": fault.worker,
             "core": fault.core,
             "domain": fault.domain,
+            "attempt": self.recoveries,
             "consecutive": self._consecutive,
         }
         self.history.append(entry)
@@ -105,26 +158,55 @@ class Supervisor:
         sim.backend.recover()
         restore(sim, payload)
         if self._consecutive >= self.max_retries:
-            self._fall_back()
-        else:
-            self._backoff_left = self.backoff_intervals
+            self._demote(entry["interval"])
+        backoff = 0
+        if not self.fallback_permanent:
+            backoff = self._next_backoff()
+            self._backoff_left = backoff
+        entry["backoff_intervals"] = backoff
+        self.last_backoff_intervals = backoff
+        self.total_backoff_intervals += backoff
         outcome = sim._execute_interval(limit, backend=self._serial)
         _log.info("interval %s replayed serially in %.3f s",
                   entry["interval"],
                   time.perf_counter() - recover_start)
         return outcome
 
-    def _fall_back(self):
+    def _demote(self, interval):
+        """Step one rung down the degradation ladder (see module
+        docs).  Landing on serial is the permanent fallback."""
         if self.fallback_permanent:
             return
         sim = self.sim
-        _log.warning("%d consecutive faulted intervals: permanently "
-                     "falling back to the serial backend",
-                     self._consecutive)
-        self.fallback_permanent = True
-        sim.backend.shutdown()
-        sim.backend = self._serial
-        sim.host_model.backend_name = self._serial.name
+        cur = sim.backend.name
+        if cur == "serial":
+            # Already at the floor (faults can still reach us here via
+            # queue corruption); just stop snapshotting.
+            self.fallback_permanent = True
+            return
+        nxt = _LADDER.get(cur, "serial")
+        self.demotions.append({"interval": interval,
+                               "from": cur, "to": nxt})
+        _log.warning("%d consecutive faulted intervals on the %s "
+                     "backend: degrading to %s",
+                     self._consecutive, cur, nxt)
+        old = sim.backend
+        if nxt == "serial":
+            new = self._serial
+            self.fallback_permanent = True
+        else:
+            from repro.exec import make_backend
+            new = make_backend(
+                nxt, host_threads=sim.config.boundweave.host_threads)
+            new.start(sim)
+        new.watchdog_budget = old.watchdog_budget
+        new.fault_plan = old.fault_plan
+        old.shutdown()
+        sim.backend = new
+        sim.host_model.backend_name = new.name
+        # The new rung gets a fresh fault budget and jitter sequence.
+        self._consecutive = 0
+        self._prev_backoff = 0
 
     def _note_telemetry(self, entry):
         telem = self.sim._telem
@@ -146,4 +228,10 @@ class Supervisor:
             "recoveries": self.recoveries,
             "fallback_permanent": int(self.fallback_permanent),
             "consecutive": self._consecutive,
+            "last_backoff_intervals": self.last_backoff_intervals,
+            "total_backoff_intervals": self.total_backoff_intervals,
+            "demotions": len(self.demotions),
+            "demotion_path": "->".join(
+                [d["from"] for d in self.demotions]
+                + [self.demotions[-1]["to"]]) if self.demotions else "",
         }

@@ -1,5 +1,5 @@
-"""Execution backends: serial/parallel/pipelined must produce identical
-simulated results (the determinism contract of repro.exec)."""
+"""Execution backends: serial/parallel/pipelined/process must produce
+identical simulated results (the determinism contract of repro.exec)."""
 
 import copy
 import dataclasses
@@ -74,7 +74,7 @@ class TestBackendEquivalence:
     def test_backends_match_serial(self, config_name, contention):
         baseline = _simulated_stats(CONFIGS[config_name](), contention,
                                     "serial")
-        for backend in ("parallel", "pipelined"):
+        for backend in ("parallel", "pipelined", "process"):
             tree = _simulated_stats(CONFIGS[config_name](), contention,
                                     backend)
             assert tree == baseline, (
@@ -117,7 +117,8 @@ class TestBackendSelection:
             cfg.validate()
 
     def test_backend_names_registry(self):
-        assert BACKEND_NAMES == ("serial", "parallel", "pipelined")
+        assert BACKEND_NAMES == ("serial", "parallel", "pipelined",
+                                 "process")
         for name in BACKEND_NAMES:
             assert make_backend(name).name == name
 

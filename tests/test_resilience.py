@@ -415,8 +415,31 @@ class TestCheckpointFormat:
         for interval in range(1, 7):
             ckpt.maybe_save(sim, interval, limit=1000 * interval)
         names = sorted(os.listdir(str(tmp_path)))
-        assert names == ["ckpt-%08d.pkl" % 4, "ckpt-%08d.pkl" % 6]
+        prefix = "ckpt-%s-" % ckpt.run_id
+        assert names == ["%s%08d.pkl" % (prefix, 4),
+                         "%s%08d.pkl" % (prefix, 6)]
         assert ckpt.saved == 3  # intervals 2, 4, 6
+
+    def test_prune_spares_other_runs_in_a_shared_dir(self, tmp_path):
+        """Two runs sharing --checkpoint-dir: each prunes only its own
+        files, so one run's stride can no longer delete the other's
+        newest checkpoint out from under a resume (regression)."""
+        sim, _ = _small_sim()
+        mine = Checkpointer(str(tmp_path), every=1, keep=1)
+        other = Checkpointer(str(tmp_path), every=1, keep=1)
+        # A legacy unqualified checkpoint must survive pruning too.
+        legacy = tmp_path / ("ckpt-%08d.pkl" % 1)
+        legacy.write_bytes(b"")
+        other.save(sim, 1, limit=1000)
+        mine.save(sim, 1, limit=1000)
+        mine.save(sim, 2, limit=2000)  # prunes mine's interval 1 only
+        names = set(os.listdir(str(tmp_path)))
+        assert "ckpt-%s-%08d.pkl" % (other.run_id, 1) in names
+        assert "ckpt-%s-%08d.pkl" % (mine.run_id, 1) not in names
+        assert "ckpt-%s-%08d.pkl" % (mine.run_id, 2) in names
+        assert legacy.name in names
+        # latest() reads across runs and both filename forms.
+        assert latest(str(tmp_path)).endswith("-%08d.pkl" % 2)
 
 
 class TestResume:
