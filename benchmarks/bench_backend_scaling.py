@@ -8,6 +8,11 @@ measured speedups near 1x while the model predicts the algorithm's
 parallelism — the gap IS the result; on free-threaded builds the two
 columns converge.  Simulated results are asserted identical across
 backends (the determinism contract of repro.exec).
+
+Each backend is also run with the flight recorder disabled: the
+``flight off`` / ``overhead`` columns pin the cost of the default-on
+black box (one clock read + deque append per interval-grained event),
+which must stay in the noise (<2%).
 """
 
 from conftest import emit, instrs, once, tiles
@@ -15,15 +20,15 @@ from conftest import emit, instrs, once, tiles
 from repro.config import tiled_chip
 from repro.core import ZSim
 from repro.exec import BACKEND_NAMES
-from repro.stats import format_table
+from repro.stats import assert_equivalent, format_table
 from repro.workloads import mt_workload
 
 
-def _run_backend(config, workload, target, backend):
+def _run_backend(config, workload, target, backend, flight=None):
     sim = ZSim(config,
                threads=workload.make_threads(
                    target_instrs=target, num_threads=config.num_cores),
-               contention_model="weave", backend=backend)
+               contention_model="weave", backend=backend, flight=flight)
     result = sim.run()
     tree = result.stats().to_dict()
     tree.pop("host", None)
@@ -46,8 +51,26 @@ def test_backend_scaling(benchmark):
                 config, workload, target, backend)
             if baseline is None:
                 baseline = tree
-            assert tree == baseline, (
-                "%s backend changed simulated results" % backend)
+            assert_equivalent(
+                tree, baseline,
+                context="%s backend vs serial" % backend)
+            # Same backend, recorder off: the delta is the flight
+            # recorder's whole cost (ring appends + guard checks).
+            # Best-of-two interleaved runs per mode, so host noise
+            # (which dwarfs the real cost) largely cancels.
+            result_off, _, tree_off, _ = _run_backend(
+                config, workload, target, backend, flight=False)
+            assert_equivalent(
+                tree_off, baseline,
+                context="%s backend without flight" % backend)
+            result2, _, _, _ = _run_backend(
+                config, workload, target, backend)
+            result_off2, _, _, _ = _run_backend(
+                config, workload, target, backend, flight=False)
+            wall_on = min(result.wall_seconds, result2.wall_seconds)
+            wall_off = min(result_off.wall_seconds,
+                           result_off2.wall_seconds)
+            overhead = (wall_on - wall_off) / wall_off
             modeled = (model.pipelined_speedup(host)
                        if backend == "pipelined" else model.speedup(host))
             if backend == "process":
@@ -64,7 +87,9 @@ def test_backend_scaling(benchmark):
             else:
                 note = "-"
             rows.append([backend,
-                         "%.3f" % result.wall_seconds,
+                         "%.3f" % wall_on,
+                         "%.3f" % wall_off,
+                         "%+.1f%%" % (100 * overhead),
                          "%.2fx" % model.measured_speedup(),
                          "%.2fx" % modeled,
                          "%d" % result.instrs,
@@ -73,8 +98,8 @@ def test_backend_scaling(benchmark):
 
     rows = once(benchmark, run)
     emit("backend_scaling", format_table(
-        ["backend", "wall s", "measured", "modeled x%d" % host,
-         "instrs", "speculation"],
+        ["backend", "wall s", "flight off", "overhead",
+         "measured", "modeled x%d" % host, "instrs", "speculation"],
         rows,
-        title="Execution backends (%d cores, measured vs modeled)"
-        % config.num_cores))
+        title="Execution backends (%d cores, measured vs modeled, "
+              "flight-recorder overhead)" % config.num_cores))

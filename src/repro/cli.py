@@ -9,11 +9,18 @@ Subcommands:
 * ``table1`` — print the simulator comparison matrix.
 * ``experiment`` — run one of the paper's experiments at a chosen scale
   (the benchmarks drive the same harness under pytest).
+* ``diff`` — structurally compare two stats-JSON trees (the
+  equivalence oracle; exit 0 identical/within tolerance, 1 divergent).
+* ``report`` — render a flight-recorder post-mortem capsule as a
+  human-readable timeline.
+* ``top`` — watch a running simulation through its ``--status-file``.
 
 ``run`` carries the resilience layer's flags (see docs/resilience.md):
 ``--supervise``, ``--watchdog-budget``, ``--checkpoint-dir`` /
 ``--checkpoint-every`` / ``--resume``, ``--max-wall-seconds``, and the
-fault-injection harness ``--inject-faults``.
+fault-injection harness ``--inject-faults`` — plus the observability
+flags (docs/observability.md): ``--status-file``/``--status-port``
+(live monitor), ``--flight-dir``/``--no-flight`` (flight recorder).
 """
 
 from __future__ import annotations
@@ -105,7 +112,7 @@ def _run_meta(args, workload, threads):
             "contention": args.contention}
 
 
-def _resume_sim(args, meta, threads, telemetry):
+def _resume_sim(args, meta, threads, telemetry, flight=None):
     from repro.resilience import latest, read_checkpoint
     path = args.resume
     if os.path.isdir(path):
@@ -124,7 +131,7 @@ def _resume_sim(args, meta, threads, telemetry):
             "needs the original workload flags" % (path, "; ".join(diffs)))
     print("resuming from %s (interval %d)" % (path, capsule["interval"]))
     return ZSim.resume(capsule, threads, backend=args.backend,
-                       telemetry=telemetry)
+                       telemetry=telemetry, flight=flight)
 
 
 def _setup_resilience(args, sim, meta):
@@ -200,6 +207,31 @@ class _GracefulStop:
             pass
 
 
+def _make_flight(args):
+    """The run's flight recorder (or False to disable): capsules land
+    in --flight-dir, else next to the checkpoints, else the cwd."""
+    if args.no_flight:
+        return False
+    from repro.obs import FlightRecorder
+    capsule_dir = args.flight_dir or args.checkpoint_dir or "."
+    return FlightRecorder(capsule_dir=capsule_dir)
+
+
+def _setup_monitor(args, sim):
+    """Install a live RunMonitor when --status-file/--status-port asked
+    for one."""
+    if not args.status_file and args.status_port is None:
+        return
+    from repro.obs import RunMonitor
+    run_id = sim.flight.run_id if sim.flight is not None else None
+    sim.monitor = RunMonitor(path=args.status_file,
+                             port=args.status_port,
+                             target_instrs=args.instrs, run_id=run_id)
+    if sim.monitor.port is not None:
+        print("status exposition: http://127.0.0.1:%d/metrics"
+              % sim.monitor.port)
+
+
 def cmd_run(args):
     if args.log_level:
         from repro.obs import configure_logging
@@ -211,13 +243,16 @@ def cmd_run(args):
         num_threads=args.threads or workload.num_threads)
     telemetry = _make_telemetry(args)
     meta = _run_meta(args, workload, threads)
+    flight = _make_flight(args)
     if args.resume:
-        sim = _resume_sim(args, meta, threads, telemetry)
+        sim = _resume_sim(args, meta, threads, telemetry, flight)
     else:
         sim = ZSim(config, threads=threads,
                    contention_model=args.contention,
-                   telemetry=telemetry, backend=args.backend)
+                   telemetry=telemetry, backend=args.backend,
+                   flight=flight)
     _setup_resilience(args, sim, meta)
+    _setup_monitor(args, sim)
     try:
         with _GracefulStop(sim):
             result = sim.run()
@@ -228,6 +263,9 @@ def cmd_run(args):
         if exc.checkpoint_path:
             print("resume with: repro run --resume %s <original flags>"
                   % exc.checkpoint_path)
+        if sim.flight is not None and sim.flight.capsules:
+            print("post-mortem capsule: %s (render with: repro report)"
+                  % sim.flight.capsules[-1])
         return EXIT_WALL_BUDGET
     config = sim.config  # the capsule's config when resuming
     print("workload %s on %s (%d cores, %s, %s contention, %s backend)"
@@ -343,6 +381,56 @@ def cmd_experiment(args):
                      "mt-validation)" % args.name)
 
 
+def cmd_diff(args):
+    from repro.stats import diff_trees, load_tree
+    try:
+        tree_a = load_tree(args.a)
+        tree_b = load_tree(args.b)
+    except (OSError, ValueError) as exc:
+        raise SystemExit("could not read stats tree: %s" % exc)
+    result = diff_trees(tree_a, tree_b, tolerance=args.tolerance,
+                        ignore=args.ignore)
+    print(result.render(max_report=args.max_report))
+    return 0 if result.equivalent else 1
+
+
+def cmd_report(args):
+    from repro.obs import load_capsule, render_report
+    try:
+        capsule = load_capsule(args.capsule)
+    except (OSError, ValueError) as exc:
+        raise SystemExit("could not read capsule: %s" % exc)
+    print(render_report(capsule, last_seconds=args.last_seconds,
+                        max_events=args.max_events))
+    return 0
+
+
+def cmd_top(args):
+    import json
+    import time as _time
+
+    from repro.obs import render_top
+    period = max(0.1, args.interval)
+    while True:
+        try:
+            with open(args.status_file) as fh:
+                status = json.load(fh)
+        except FileNotFoundError:
+            raise SystemExit("no status file at %s (is the run using "
+                             "--status-file?)" % args.status_file)
+        except ValueError:
+            # Mid-replace torn read cannot happen (os.replace is
+            # atomic), but an unrelated non-JSON file can.
+            raise SystemExit("%s is not a status file"
+                             % args.status_file)
+        print(render_top(status))
+        state = status.get("state", "running")
+        if args.once or state != "running":
+            return 0 if state in ("running", "done") else 1
+        print()
+        _time.sleep(period)
+
+
 def build_parser():
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -428,6 +516,23 @@ def build_parser():
                      help="deterministic fault plan, e.g. "
                           "'kill@3:w0;corrupt@5:d1' (see "
                           "docs/resilience.md); enables supervision")
+    run.add_argument("--status-file", default=None, metavar="PATH",
+                     help="atomically rewrite a JSON status file at "
+                          "every interval barrier (watch it with "
+                          "`repro top PATH`)")
+    run.add_argument("--status-port", type=int, default=None,
+                     metavar="PORT",
+                     help="serve live status on 127.0.0.1:PORT "
+                          "(/metrics is Prometheus text exposition; "
+                          "0 picks an ephemeral port)")
+    run.add_argument("--flight-dir", default=None, metavar="DIR",
+                     help="directory for flight-recorder post-mortem "
+                          "capsules (default: --checkpoint-dir, else "
+                          "the cwd)")
+    run.add_argument("--no-flight", action="store_true",
+                     help="disable the flight recorder (on by default; "
+                          "capsules are only written when a run "
+                          "crashes or is stopped)")
     run.set_defaults(func=cmd_run)
 
     val = sub.add_parser("validate",
@@ -450,13 +555,61 @@ def build_parser():
     exp.add_argument("--limit", type=int, default=0,
                      help="restrict to the first N workloads")
     exp.set_defaults(func=cmd_experiment)
+
+    diff = sub.add_parser(
+        "diff", help="structurally compare two stats-JSON trees "
+                     "(exit 0: equivalent, 1: divergent)")
+    diff.add_argument("a", help="baseline stats JSON (side A)")
+    diff.add_argument("b", help="candidate stats JSON (side B)")
+    diff.add_argument("--tolerance", type=float, default=0.0,
+                      metavar="REL",
+                      help="relative tolerance for numeric leaves "
+                           "(default 0: exact)")
+    diff.add_argument("--ignore", action="append", default=[],
+                      metavar="KEY",
+                      help="prune this subtree key wherever it appears "
+                           "(repeatable; e.g. --ignore host drops "
+                           "host-side wall-clock stats)")
+    diff.add_argument("--max-report", type=int, default=25,
+                      metavar="N",
+                      help="cap the number of mismatches printed")
+    diff.set_defaults(func=cmd_diff)
+
+    rep = sub.add_parser(
+        "report", help="render a flight-recorder post-mortem capsule")
+    rep.add_argument("capsule", help="postmortem-*.json path")
+    rep.add_argument("--last-seconds", type=float, default=None,
+                     metavar="S",
+                     help="only show events from the final S seconds")
+    rep.add_argument("--max-events", type=int, default=None, metavar="N",
+                     help="only show the last N events")
+    rep.set_defaults(func=cmd_report)
+
+    top = sub.add_parser(
+        "top", help="watch a running simulation via its --status-file")
+    top.add_argument("status_file", help="path passed to --status-file")
+    top.add_argument("--interval", type=float, default=1.0,
+                     metavar="SECONDS",
+                     help="refresh period (default 1s)")
+    top.add_argument("--once", action="store_true",
+                     help="print one frame and exit")
+    top.set_defaults(func=cmd_top)
     return parser
 
 
 def main(argv=None):
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except BrokenPipeError:
+        # `repro report ... | head` closing the pipe early is normal
+        # use, not an error.  Detach stdout so the interpreter's
+        # shutdown flush cannot raise again, and exit like a killed-
+        # by-SIGPIPE process would.
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return 141
 
 
 if __name__ == "__main__":

@@ -25,6 +25,7 @@ from repro.exec.backend import ExecutionBackend
 from repro.memory.contention import MD1Model
 from repro.memory.dramsim import DRAMSimWeave
 from repro.memory.hierarchy import MemoryHierarchy
+from repro.obs.flight import FlightRecorder
 from repro.obs.log import get_logger
 from repro.obs.tracer import TID_MAIN
 from repro.stats.counters import StatsNode
@@ -175,7 +176,7 @@ class ZSim:
     def __init__(self, config, threads=(), contention_model="weave",
                  profiler=None, host_threads=HostModel.DEFAULT_THREADS,
                  mem_wrapper=None, stats_period_intervals=0,
-                 telemetry=None, backend=None):
+                 telemetry=None, backend=None, flight=None):
         if contention_model not in CONTENTION_MODELS:
             raise ValueError("Unknown contention model: %r"
                              % (contention_model,))
@@ -240,6 +241,20 @@ class ZSim:
         self.host_model.backend_name = self.backend.name
         if getattr(bw, "watchdog_budget_s", 0.0):
             self.backend.watchdog_budget = bw.watchdog_budget_s
+        #: Flight recorder (see repro.obs.flight): an always-on bounded
+        #: ring of run events, frozen into a post-mortem capsule on any
+        #: crash.  Default-on because its per-event cost is a deque
+        #: append; pass ``flight=False`` to disable (call sites guard on
+        #: ``flight is not None``), or a configured FlightRecorder to
+        #: set capacity/capsule_dir.
+        if flight is None:
+            flight = FlightRecorder()
+        elif flight is False:
+            flight = None
+        self.flight = flight
+        #: Optional live run monitor (repro.obs.monitor.RunMonitor),
+        #: installed by the CLI's --status-file/--status-port flags.
+        self.monitor = None
         #: Resilience layer hooks (see repro.resilience): a Supervisor
         #: attaches itself here; a Checkpointer/wall budget is installed
         #: by the harness.  All optional; None means unsupervised.
@@ -309,6 +324,7 @@ class ZSim:
             self._resume = None
             _log.info("resuming at interval %d (limit cycle %d)",
                       intervals_run, limit)
+        run_state = "done"
         try:
             # Always dereference self.scheduler inside the loop: a
             # resilience restore swaps the simulator's __dict__, so any
@@ -335,14 +351,51 @@ class ZSim:
                         tracer, metrics, intervals_run, limit,
                         bound_start, bound_end, weave_seconds,
                         domain_events)
+                # Interval-barrier observability (dereferenced per
+                # iteration: restore() preserves these, but the objects
+                # are host-side and could be swapped by a harness).
+                flight = self.flight
+                monitor = self.monitor
+                if flight is not None or monitor is not None:
+                    cycle = max(c.cycle for c in self.cores)
+                    instrs = sum(c.instrs for c in self.cores)
+                    if flight is not None:
+                        flight.record("interval",
+                                      interval=intervals_run,
+                                      limit=limit, cycle=cycle,
+                                      instrs=instrs)
+                    if monitor is not None:
+                        monitor.update(self, intervals_run, limit,
+                                       cycle=cycle, instrs=instrs)
                 limit = self._advance_limit(limit, interval)
                 if self.checkpointer is not None:
                     # After _advance_limit so the capsule records the
                     # next interval's limit (what resume continues with).
                     self.checkpointer.maybe_save(self, intervals_run,
                                                  limit)
+        except WallClockExceeded as exc:
+            # Graceful stops (wall budget, SIGTERM/SIGINT): resumable
+            # by design, but still worth a capsule — a stopped
+            # multi-hour run should leave its final seconds behind.
+            run_state = "stopped"
+            if self.flight is not None:
+                self.flight.capture(self, kind="stopped",
+                                    message=str(exc),
+                                    interval=intervals_run)
+            raise
+        except BaseException as exc:
+            # Deadlocks, typed faults the supervisor could not absorb,
+            # and plain crashes: dump the black box before unwinding.
+            run_state = "failed"
+            if self.flight is not None:
+                self.flight.capture(self, kind=type(exc).__name__,
+                                    message=str(exc),
+                                    interval=intervals_run)
+            raise
         finally:
             self.backend.shutdown()
+            if self.monitor is not None:
+                self.monitor.finish(self, run_state)
         wall = time.perf_counter() - start_wall
         result = SimulationResult(self, wall)
         _log.info("run done: %d instrs, %d cycles, %d intervals, "
@@ -533,7 +586,8 @@ class ZSim:
     # ------------------------------------------------------------------
 
     @classmethod
-    def resume(cls, capsule, threads, backend=None, telemetry=None):
+    def resume(cls, capsule, threads, backend=None, telemetry=None,
+               flight=None):
         """Reconstruct a simulator from a checkpoint capsule (see
         :func:`repro.resilience.read_checkpoint`).
 
@@ -568,5 +622,14 @@ class ZSim:
             backend.watchdog_budget = bw.watchdog_budget_s
         if telemetry is not None:
             sim.attach_telemetry(telemetry)
+        # Checkpoints detach the host-side observers (see
+        # resilience.checkpoint._detached); the resumed run gets fresh
+        # ones — same semantics as ZSim.__init__'s flight parameter.
+        if flight is None:
+            flight = FlightRecorder()
+        elif flight is False:
+            flight = None
+        sim.flight = flight
+        sim.monitor = None
         sim._resume = (capsule["interval"], capsule["limit"])
         return sim

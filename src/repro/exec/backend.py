@@ -63,7 +63,16 @@ class ExecutionBackend:
     def start(self, sim):
         """Adopt a simulator.  Called from ``ZSim.__init__``; resource
         allocation (worker threads) should stay lazy so unused backends
-        cost nothing."""
+        cost nothing.  Subclasses overriding this should call
+        ``super().start(sim)`` (or set ``self._sim``) so observability
+        hooks can reach the simulator's flight recorder."""
+        self._sim = sim
+
+    def _flight(self):
+        """The adopted simulator's flight recorder, or None.  Call
+        sites follow the telemetry guard discipline: bind this once per
+        pass/interval and guard every record with ``is not None``."""
+        return getattr(getattr(self, "_sim", None), "flight", None)
 
     def shutdown(self):
         """Release host resources (join worker threads).  Idempotent;

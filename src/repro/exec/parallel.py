@@ -238,6 +238,11 @@ class ParallelBackend(ExecutionBackend):
         epoch = self._epoch
         plan = self.fault_plan
         budget = self.watchdog_budget
+        flight = self._flight()
+        if flight is not None:
+            flight.record("dispatch", backend=self.name, phase=phase,
+                          interval=interval, jobs=len(jobs),
+                          workers=len(self._workers), epoch=epoch)
         pending = 0
         timed_out = False
         for index, fn, ctx in jobs:
@@ -277,6 +282,11 @@ class ParallelBackend(ExecutionBackend):
                         if not isinstance(exc, PassAborted)), None)
         if failure is not None:
             exc, ctx = failure
+            if flight is not None:
+                flight.record("worker_failure", backend=self.name,
+                              phase=phase, interval=interval,
+                              worker=ctx.get("worker"),
+                              error=type(exc).__name__)
             if isinstance(exc, ExecutionFault):
                 raise exc  # already typed with context (HorizonViolation)
             raise WorkerFailure(
@@ -288,6 +298,11 @@ class ParallelBackend(ExecutionBackend):
                 core=ctx.get("core"),
                 domain=ctx.get("domain")) from exc
         if timed_out:
+            if flight is not None:
+                flight.record("watchdog_timeout", backend=self.name,
+                              phase=phase, interval=interval,
+                              pending=pending, jobs=len(jobs),
+                              budget_s=budget)
             raise WatchdogTimeout(
                 "no worker progress for %.2fs in %s pass (interval %s): "
                 "%d of %d jobs incomplete"

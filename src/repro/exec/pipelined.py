@@ -161,6 +161,11 @@ class PipelinedBackend(ExecutionBackend):
             fn = plan.wrap(fn, {"phase": "weave-stage",
                                 "interval": interval, "worker": 0},
                            self, self._epoch)
+        flight = self._flight()
+        if flight is not None:
+            flight.record("dispatch", backend=self.name,
+                          phase="weave-stage", interval=interval,
+                          traces=len(traces), epoch=self._epoch)
         slot = {"done": threading.Event()}
         self._jobs.put((fn, slot, self._epoch))
         # Feedback barrier (see module docs): interval k's delays feed
@@ -168,6 +173,10 @@ class PipelinedBackend(ExecutionBackend):
         # The watchdog budget bounds that wait — a stalled or killed
         # stage surfaces as a typed fault instead of wedging the run.
         if not slot["done"].wait(timeout=self.watchdog_budget):
+            if flight is not None:
+                flight.record("watchdog_timeout", backend=self.name,
+                              phase="weave-stage", interval=interval,
+                              worker=0, budget_s=self.watchdog_budget)
             raise WatchdogTimeout(
                 "weave stage made no progress for %.2fs (interval %d)"
                 % (self.watchdog_budget, interval),
@@ -180,6 +189,10 @@ class PipelinedBackend(ExecutionBackend):
                 TID_WORKER + WEAVE_STAGE_TRACK)
         error = slot.get("error")
         if error is not None:
+            if flight is not None:
+                flight.record("worker_failure", backend=self.name,
+                              phase="weave-stage", interval=interval,
+                              worker=0, error=type(error).__name__)
             if isinstance(error, ExecutionFault):
                 raise error  # already typed (e.g. HorizonViolation)
             raise WorkerFailure(

@@ -82,6 +82,17 @@ MAX_POOL_FAILURES = 2
 #: it is killed outright.
 SHUTDOWN_GRACE_S = 2.0
 
+#: Tracer-lane stride between respawn generations of the same worker
+#: slot.  A respawned worker is a different OS process; giving it a
+#: fresh lane (``TID_WORKER + gen * stride + slot``) keeps its spans
+#: from interleaving into its dead predecessor's lane in Chrome traces.
+LANE_STRIDE = 128
+
+#: Recovery action recorded in worker-death capsules (what the driver
+#: does, so ``repro report`` can say it).
+_DEATH_RECOVERY = ("victim cores re-run inline on the driver; "
+                   "pool respawned at the next barrier")
+
 
 def _fingerprint(result):
     """Order-sensitive digest of everything a core (or the weave trace)
@@ -194,7 +205,10 @@ class ProcessBackend(ExecutionBackend):
         self._warned_no_fork = False
         self._pool_failures_in_a_row = 0
         self._pending_respawn = 0
-        self._named_tracks = 0
+        #: Per-slot respawn generation (bumped when the slot's worker
+        #: dies) and the set of already-named tracer lanes.
+        self._lane_gen = {}
+        self._named_lanes = set()
         self._idle_us = 0.0
         self.counters = {
             "workers_forked": 0,
@@ -274,10 +288,15 @@ class ProcessBackend(ExecutionBackend):
         simply runs inline."""
         interval = bound.intervals
         epoch = self._epoch
+        flight = self._flight()
         shards = [eligible[w::workers] for w in range(workers)]
         ctx = multiprocessing.get_context("fork")
         if self._pending_respawn:
             self.counters["respawns"] += self._pending_respawn
+            if flight is not None:
+                flight.record("respawn", backend=self.name,
+                              interval=interval,
+                              workers=self._pending_respawn)
             self._pending_respawn = 0
         procs, conns = [], {}
         hold = bool(self.fault_plan
@@ -305,13 +324,29 @@ class ProcessBackend(ExecutionBackend):
             self._note_pool_failure("fork failed: %s" % exc, interval)
             return {}
         self._procs = procs
+        if flight is not None:
+            flight.record("fork", backend=self.name, interval=interval,
+                          workers=workers, epoch=epoch,
+                          cores=len(eligible))
         self._name_worker_tracks(workers)
         self._apply_process_faults(interval, procs)
-        spec, deaths = self._collect(conns, procs, epoch, interval)
+        spec, dead = self._collect(conns, procs, epoch, interval)
         self._reap(procs)
         self._procs = []
+        deaths = len(dead)
         self.counters["worker_deaths"] += deaths
         self._pending_respawn += deaths
+        if deaths and flight is not None:
+            # A worker death is exactly the event the flight recorder
+            # exists for: freeze the ring into a capsule naming the
+            # victim(s), the interval, and the recovery action.
+            flight.capture(
+                self._sim, kind="worker_death",
+                message="worker%s %s died during interval %d"
+                % ("s" if deaths > 1 else "",
+                   ",".join(str(w) for w in sorted(dead)), interval),
+                recovery=_DEATH_RECOVERY, worker=sorted(dead)[0],
+                interval=interval, phase="bound")
         if deaths >= len(procs) and not spec:
             self._note_pool_failure(
                 "every worker died during interval %d" % interval,
@@ -328,8 +363,9 @@ class ProcessBackend(ExecutionBackend):
         budget = max(0.05, float(self.heartbeat_budget_s or 10.0))
         pending = dict(conns)
         spec = {}
-        deaths = 0
+        dead = []
         spans = {}
+        flight = self._flight()
         deadline = time.monotonic() + budget
         pass_start = time.monotonic()
         while pending:
@@ -340,12 +376,17 @@ class ProcessBackend(ExecutionBackend):
                     if proc.is_alive():
                         proc.kill()
                         self.counters["heartbeat_kills"] += 1
+                        if flight is not None:
+                            flight.record("heartbeat_kill",
+                                          backend=self.name, worker=w,
+                                          interval=interval,
+                                          budget_s=budget)
                         _log.warning(
                             "worker %d made no progress for %.2fs "
                             "(interval %d): killed; its cores run "
                             "inline", w, budget, interval)
                     pending.pop(w).close()
-                    deaths += 1
+                    dead.append(w)
                 break
             ready = _conn_wait(list(pending.values()), timeout)
             progressed = False
@@ -356,7 +397,11 @@ class ProcessBackend(ExecutionBackend):
                 except (EOFError, OSError):
                     # SIGKILL / crash: the pipe closed mid-shard.
                     pending.pop(w).close()
-                    deaths += 1
+                    dead.append(w)
+                    if flight is not None:
+                        flight.record("worker_death",
+                                      backend=self.name, worker=w,
+                                      interval=interval)
                     _log.warning("worker %d died during interval %d; "
                                  "its cores run inline", w, interval)
                     continue
@@ -375,12 +420,26 @@ class ProcessBackend(ExecutionBackend):
                 elif tag == "done":
                     busy_s, t0, t1 = msg[3], msg[4], msg[5]
                     spans[w] = (t0, t1, busy_s)
+                    if flight is not None:
+                        # Heartbeat slack: how close this worker came to
+                        # being declared dead (low slack = load-tune the
+                        # budget before it kills healthy workers).
+                        flight.record(
+                            "hb_slack", backend=self.name, worker=w,
+                            interval=interval, budget_s=budget,
+                            slack_s=round(deadline - time.monotonic(),
+                                          6))
                     pending.pop(w).close()
             if progressed:
                 deadline = time.monotonic() + budget
         window = time.monotonic() - pass_start
         self._note_spans(spans, interval, window)
-        return spec, deaths
+        # Bump the dead slots' lane generation *after* their final spans
+        # landed: the respawned workers forked at the next barrier get
+        # fresh tracer lanes instead of interleaving into these.
+        for w in dead:
+            self._lane_gen[w] = self._lane_gen.get(w, 0) + 1
+        return spec, dead
 
     def _reap(self, procs):
         for proc in procs:
@@ -392,6 +451,11 @@ class ProcessBackend(ExecutionBackend):
     def _note_pool_failure(self, reason, interval):
         self.counters["pool_failures"] += 1
         self._pool_failures_in_a_row += 1
+        flight = self._flight()
+        if flight is not None:
+            flight.record("pool_failure", backend=self.name,
+                          interval=interval, reason=reason,
+                          consecutive=self._pool_failures_in_a_row)
         _log.warning("process pool failure (%d consecutive): %s",
                      self._pool_failures_in_a_row, reason)
         if self._pool_failures_in_a_row >= MAX_POOL_FAILURES:
@@ -433,6 +497,11 @@ class ProcessBackend(ExecutionBackend):
                 continue
             os.kill(proc.pid, fault.signum)
             fault.fired = True
+            flight = self._flight()
+            if flight is not None:
+                flight.record("fault_injected", backend=self.name,
+                              fault=fault.kind, worker=victim,
+                              interval=interval, pid=proc.pid)
             if fault.signum == signal.SIGSTOP:
                 keep_stopped.add(victim)
             _log.warning("injected %s: worker %d (pid %d) at interval "
@@ -571,6 +640,10 @@ class ProcessBackend(ExecutionBackend):
         exactly one of three paths — commit, prefix re-run, or inline —
         and all three produce the serial side effects."""
         telem = bound._telem
+        flight = self._flight()
+        before = (self.counters["spec_commits"],
+                  self.counters["spec_rejects"],
+                  self.counters["inline_runs"])
         outcomes = []
         for core in cores:
             payload = spec.get(core.core_id)
@@ -578,6 +651,12 @@ class ProcessBackend(ExecutionBackend):
             if payload is not None and core.has_thread:
                 ran, charge = self._commit_core(bound, core, limit_cycle,
                                                 payload)
+                if (charge is None and flight is not None):
+                    # charge=None on a present payload means the
+                    # fingerprint validation rejected the speculation.
+                    flight.record("spec_mismatch", backend=self.name,
+                                  core=core.core_id,
+                                  interval=bound.intervals)
             else:
                 self.counters["inline_runs"] += 1
                 ran = bound._run_core(core, limit_cycle)
@@ -593,6 +672,12 @@ class ProcessBackend(ExecutionBackend):
             if telem is not None:
                 bound._trace_core_run(core.core_id, start, end)
             outcomes.append((core, ran))
+        if flight is not None:
+            flight.record(
+                "commit", backend=self.name, interval=bound.intervals,
+                commits=self.counters["spec_commits"] - before[0],
+                rejects=self.counters["spec_rejects"] - before[1],
+                inline=self.counters["inline_runs"] - before[2])
         return outcomes
 
     def _commit_core(self, bound, core, limit_cycle, payload):
@@ -656,14 +741,25 @@ class ProcessBackend(ExecutionBackend):
 
     # -- observability -------------------------------------------------
 
+    def _worker_lane(self, w):
+        """Tracer lane for worker slot ``w``'s *current* generation.
+        Dead slots bump the generation, so a respawned worker never
+        shares a lane with its dead predecessor."""
+        return TID_WORKER + LANE_STRIDE * self._lane_gen.get(w, 0) + w
+
     def _name_worker_tracks(self, workers):
         telem = getattr(self._sim, "_telem", None)
         if telem is None or telem.tracer is None:
             return
-        for w in range(self._named_tracks, workers):
-            telem.tracer.name_track(TID_WORKER + w,
-                                    "process worker%d" % w)
-        self._named_tracks = max(self._named_tracks, workers)
+        for w in range(workers):
+            lane = self._worker_lane(w)
+            if lane in self._named_lanes:
+                continue
+            gen = self._lane_gen.get(w, 0)
+            telem.tracer.name_track(
+                lane, "process worker%d" % w if not gen
+                else "process worker%d (respawn %d)" % (w, gen))
+            self._named_lanes.add(lane)
 
     def _note_spans(self, spans, interval, window_s):
         telem = getattr(self._sim, "_telem", None)
@@ -675,7 +771,7 @@ class ProcessBackend(ExecutionBackend):
                 # wide clock, so child timestamps land on the driver's
                 # timeline directly.
                 tracer.complete_raw("speculate (interval %d)" % interval,
-                                    "exec", t0, t1, TID_WORKER + w)
+                                    "exec", t0, t1, self._worker_lane(w))
 
     def sample_idle(self, metrics):
         idle, self._idle_us = self._idle_us, 0.0

@@ -24,7 +24,17 @@ class SerialBackend(ExecutionBackend):
         self.host_threads = 1
 
     def run_bound_pass(self, bound, cores, limit_cycle, timings):
+        flight = self._flight()
+        if flight is not None:
+            flight.record("bound_pass", backend=self.name,
+                          interval=bound.intervals, cores=len(cores),
+                          limit=limit_cycle)
         return bound.run_pass(cores, limit_cycle, timings)
 
     def run_weave(self, weave, traces):
+        flight = self._flight()
+        if flight is not None:
+            flight.record("weave_pass", backend=self.name,
+                          interval=weave.stats.intervals,
+                          traces=len(traces))
         return weave.run_interval(traces)

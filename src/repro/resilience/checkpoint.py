@@ -48,9 +48,11 @@ def _detached(sim):
     file handles, supervision state) and must survive a restore.
     ``_stop_requested`` is here for both directions: a capsule must not
     embalm a pending SIGTERM (the resumed run would instantly stop
-    again), and an interval replay must not swallow one."""
+    again), and an interval replay must not swallow one.  The flight
+    recorder and live monitor are host-side observers (ring of host
+    timestamps, status-file handles): a resumed run gets fresh ones."""
     return ("backend", "supervisor", "checkpointer", "_telem",
-            "_stop_requested")
+            "_stop_requested", "flight", "monitor")
 
 
 def capture_state(sim):
@@ -247,6 +249,9 @@ class Checkpointer:
         write_checkpoint(path, sim, interval, limit, self.meta)
         self.saved += 1
         self.last_path = path
+        flight = getattr(sim, "flight", None)
+        if flight is not None:
+            flight.record("checkpoint", interval=interval, path=path)
         self._prune()
         return path
 

@@ -307,6 +307,15 @@ class FaultPlan:
         for fault in self.faults:
             if fault.dispatch and fault.matches(ctx):
                 fault.fired = True
+                flight = getattr(getattr(backend, "_sim", None),
+                                 "flight", None)
+                if flight is not None:
+                    flight.record("fault_injected", fault=fault.kind,
+                                  interval=ctx.get("interval"),
+                                  phase=ctx.get("phase"),
+                                  worker=ctx.get("worker"),
+                                  core=ctx.get("core"),
+                                  domain=ctx.get("domain"))
                 return fault.wrap(fn, ctx, backend, epoch)
         return fn
 

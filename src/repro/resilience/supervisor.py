@@ -152,6 +152,21 @@ class Supervisor:
         if traceback_text:
             _log.debug("worker traceback:\n%s", traceback_text)
         self._note_telemetry(entry)
+        flight = getattr(sim, "flight", None)
+        if flight is not None:
+            flight.record("recovery", fault=entry["kind"],
+                          interval=entry["interval"],
+                          phase=entry["phase"], worker=entry["worker"],
+                          consecutive=self._consecutive)
+            # The recovery capsule is the post-mortem for the fault the
+            # run *survived*: captured before the rewind, so the ring
+            # still holds the backend's events leading up to it.
+            flight.capture(
+                sim, kind=entry["kind"], message=entry["message"],
+                recovery="interval rewound to the barrier and replayed "
+                         "on the serial backend",
+                worker=entry["worker"], interval=entry["interval"],
+                phase=entry["phase"])
         # Order matters: quiesce the pool (epoch bump + join/abandon)
         # BEFORE restoring, so no straggler job mutates rewound state.
         recover_start = time.perf_counter()
@@ -187,6 +202,11 @@ class Supervisor:
         nxt = _LADDER.get(cur, "serial")
         self.demotions.append({"interval": interval,
                                "from": cur, "to": nxt})
+        flight = getattr(sim, "flight", None)
+        if flight is not None:
+            flight.record("demotion", interval=interval,
+                          from_backend=cur, to_backend=nxt,
+                          consecutive=self._consecutive)
         _log.warning("%d consecutive faulted intervals on the %s "
                      "backend: degrading to %s",
                      self._consecutive, cur, nxt)

@@ -15,12 +15,24 @@ from repro.stats.aggregate import (
 )
 from repro.stats.ascii_plot import line_plot, scatter_plot
 from repro.stats.counters import StatsNode
+from repro.stats.diff import (
+    DiffResult,
+    Mismatch,
+    assert_equivalent,
+    diff_trees,
+    load_tree,
+)
 from repro.stats.reporting import format_series, format_table
 
 __all__ = [
+    "DiffResult",
     "Log2Histogram",
+    "Mismatch",
     "StatsNode",
+    "assert_equivalent",
     "confidence_interval_95",
+    "diff_trees",
+    "load_tree",
     "format_series",
     "format_table",
     "hmean",

@@ -1,0 +1,181 @@
+"""Structural comparison of stats trees: the equivalence oracle.
+
+The backend determinism contract says execution backends change wall
+time, never simulated results — so "are these two stats trees equal"
+is the single most-asked question in this repo's tests and CI.  Until
+now each asker re-implemented it inline (``assert tree == baseline``,
+ad-hoc ``clean.pop("host")`` python in workflow YAML), which produces
+the least useful possible failure: a thousand-line dict repr diff.
+
+:func:`diff_trees` walks two nested stats dicts (the shape produced by
+:meth:`repro.stats.counters.StatsNode.to_dict`) and reports *typed,
+per-path* mismatches instead:
+
+* ``missing`` / ``extra`` — a path exists on only one side,
+* ``type`` — a subtree on one side is a scalar on the other,
+* ``value`` — both sides have a scalar and they differ (with the
+  absolute and relative delta, so tolerances are meaningful).
+
+``--ignore host`` style subtree pruning replaces the inline ``pop``
+snippets: host-side stats hold wall-clock noise by design and are
+excluded from equivalence checks.  Numeric comparisons accept a
+relative tolerance for the few legitimately approximate consumers
+(benchmark drift tracking); the determinism oracle uses the default
+``tolerance=0.0``.
+"""
+
+from __future__ import annotations
+
+import json
+
+
+class Mismatch:
+    """One divergence between two trees, anchored to a dotted path."""
+
+    __slots__ = ("path", "kind", "a", "b", "delta", "rel")
+
+    def __init__(self, path, kind, a=None, b=None, delta=None, rel=None):
+        self.path = path
+        #: ``missing`` | ``extra`` | ``type`` | ``value``
+        self.kind = kind
+        self.a = a
+        self.b = b
+        self.delta = delta
+        self.rel = rel
+
+    def render(self):
+        if self.kind == "missing":
+            return "%-8s %s (only in B)" % (self.kind, self.path)
+        if self.kind == "extra":
+            return "%-8s %s (only in A)" % (self.kind, self.path)
+        if self.kind == "type":
+            return ("%-8s %s: %s vs %s"
+                    % (self.kind, self.path,
+                       type(self.a).__name__, type(self.b).__name__))
+        extra = ""
+        if self.delta is not None:
+            extra = "  delta=%r" % self.delta
+        if self.rel is not None:
+            extra += " (rel %.3g)" % self.rel
+        return ("%-8s %s: %r != %r%s"
+                % (self.kind, self.path, self.a, self.b, extra))
+
+    def __repr__(self):
+        return "Mismatch(%r, %r)" % (self.path, self.kind)
+
+
+class DiffResult:
+    """All mismatches from one comparison, plus coverage counts."""
+
+    def __init__(self, mismatches, paths_compared):
+        self.mismatches = mismatches
+        self.paths_compared = paths_compared
+
+    @property
+    def equivalent(self):
+        return not self.mismatches
+
+    def __bool__(self):
+        # Truthiness answers "are they equivalent" so
+        # ``assert diff_trees(a, b)`` reads naturally.
+        return self.equivalent
+
+    def render(self, max_report=None):
+        if self.equivalent:
+            return ("identical: %d leaf paths compared"
+                    % self.paths_compared)
+        lines = ["%d mismatch(es) across %d leaf paths:"
+                 % (len(self.mismatches), self.paths_compared)]
+        shown = self.mismatches
+        if max_report is not None and len(shown) > max_report:
+            shown = shown[:max_report]
+        lines.extend("  " + m.render() for m in shown)
+        if len(shown) < len(self.mismatches):
+            lines.append("  ... and %d more"
+                         % (len(self.mismatches) - len(shown)))
+        return "\n".join(lines)
+
+
+def _is_tree(value):
+    return isinstance(value, dict)
+
+
+def _numeric(value):
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
+def diff_trees(a, b, tolerance=0.0, ignore=()):
+    """Compare two nested stats dicts; returns a :class:`DiffResult`.
+
+    ``ignore`` lists subtree keys pruned on both sides wherever they
+    appear (matched against the path's leading component *or* any
+    single component, so ``ignore=("host",)`` drops every ``host``
+    subtree at any depth).  ``tolerance`` is a relative bound: numeric
+    leaves differing by ``<= tolerance * max(|a|, |b|)`` are equal.
+    """
+    ignore = frozenset(ignore)
+    mismatches = []
+    compared = 0
+
+    def walk(path, left, right):
+        nonlocal compared
+        left_tree = _is_tree(left)
+        right_tree = _is_tree(right)
+        if left_tree and right_tree:
+            for key in sorted(set(left) | set(right), key=str):
+                if key in ignore:
+                    continue
+                sub = "%s.%s" % (path, key) if path else str(key)
+                if key not in left:
+                    mismatches.append(Mismatch(sub, "missing",
+                                               b=right[key]))
+                elif key not in right:
+                    mismatches.append(Mismatch(sub, "extra",
+                                               a=left[key]))
+                else:
+                    walk(sub, left[key], right[key])
+            return
+        if left_tree != right_tree:
+            mismatches.append(Mismatch(path, "type", a=left, b=right))
+            return
+        compared += 1
+        if left == right:
+            return
+        if _numeric(left) and _numeric(right):
+            delta = left - right
+            scale = max(abs(left), abs(right))
+            rel = abs(delta) / scale if scale else 0.0
+            if rel <= tolerance:
+                return
+            mismatches.append(Mismatch(path, "value", a=left, b=right,
+                                       delta=delta, rel=rel))
+        else:
+            mismatches.append(Mismatch(path, "value", a=left, b=right))
+
+    walk("", a, b)
+    return DiffResult(mismatches, compared)
+
+
+def assert_equivalent(a, b, tolerance=0.0, ignore=(), context=""):
+    """Raise AssertionError with a typed per-path report on mismatch.
+
+    This is the test-suite equivalence oracle: unlike
+    ``assert tree == baseline`` it fails with *which paths* diverged,
+    not a wall of dict repr.
+    """
+    result = diff_trees(a, b, tolerance=tolerance, ignore=ignore)
+    if not result.equivalent:
+        header = "%s: " % context if context else ""
+        raise AssertionError(header + result.render(max_report=40))
+    return result
+
+
+def load_tree(path):
+    """Read a stats JSON file for diffing.  Accepts both a bare stats
+    tree and the ``repro run --stats-json`` envelope (which nests the
+    tree under ``"stats"``)."""
+    with open(path) as fh:
+        data = json.load(fh)
+    if isinstance(data, dict) and isinstance(data.get("stats"), dict):
+        return data["stats"]
+    return data

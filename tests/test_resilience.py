@@ -43,6 +43,7 @@ from repro.resilience import (
     read_checkpoint,
     write_checkpoint,
 )
+from repro.stats import assert_equivalent
 from repro.workloads import mt_workload
 
 WATCHDOG_S = 0.25
@@ -168,7 +169,8 @@ class TestFaultMatrix:
         assert plan.remaining() == [], "fault never fired: %s" % spec
         assert supervisor.recoveries >= 1
         assert not supervisor.fallback_permanent
-        assert tree == serial_baseline
+        assert_equivalent(tree, serial_baseline,
+                          context="%s under %s" % (spec, backend))
 
     def test_history_records_fault_context(self, serial_baseline):
         sim = _matrix_sim("parallel")
@@ -201,7 +203,8 @@ class TestPermanentFallback:
         assert isinstance(sim.backend, SerialBackend)
         assert sim.host_model.backend_name == "serial"
         # Degraded, not wrong: the run still matches the reference.
-        assert tree == serial_baseline
+        assert_equivalent(tree, serial_baseline,
+                          context="permanent fallback")
 
 
 # ---------------------------------------------------------------------
@@ -454,7 +457,8 @@ class TestResume:
         capsule = read_checkpoint(latest(str(tmp_path)))
         threads = wl.make_threads(target_instrs=8_000)
         resumed = ZSim.resume(capsule, threads)
-        assert _stats_tree(resumed.run()) == baseline
+        assert_equivalent(_stats_tree(resumed.run()), baseline,
+                          context="resume vs uninterrupted")
 
     def test_resume_after_fault_recovery_matches(self, tmp_path,
                                                  serial_baseline):
@@ -470,7 +474,8 @@ class TestResume:
         wl = mt_workload("blackscholes", scale=1 / 64, num_threads=16)
         resumed = ZSim.resume(capsule, wl.make_threads(
             target_instrs=25_000))
-        assert _stats_tree(resumed.run()) == serial_baseline
+        assert_equivalent(_stats_tree(resumed.run()), serial_baseline,
+                          context="resume after recovery")
 
     def test_resume_rejects_wrong_thread_count(self, tmp_path):
         sim, wl = _small_sim()
