@@ -253,9 +253,26 @@ def cmd_run(args):
                    flight=flight)
     _setup_resilience(args, sim, meta)
     _setup_monitor(args, sim)
+    profiler = None
+    if args.profile:
+        import cProfile
+        profiler = cProfile.Profile()
     try:
         with _GracefulStop(sim):
-            result = sim.run()
+            if profiler is not None:
+                profiler.enable()
+            try:
+                result = sim.run()
+            finally:
+                # Dump on *every* exit — normal completion, wall-budget
+                # stop, signals, faults — so a wedged run still leaves
+                # its profile behind.
+                if profiler is not None:
+                    profiler.disable()
+                    profiler.dump_stats(args.profile)
+                    print("profile written to %s (inspect with: "
+                          "python -m pstats %s)"
+                          % (args.profile, args.profile))
     except WallClockExceeded as exc:
         # Covers RunInterrupted too (SIGTERM/SIGINT): same resumable
         # exit, no traceback.
@@ -486,6 +503,10 @@ def build_parser():
                           "histograms, per-interval samples) as JSON")
     run.add_argument("--metrics-csv", default=None,
                      help="write the per-interval sample table as CSV")
+    run.add_argument("--profile", default=None, metavar="OUT.pstats",
+                     help="profile the simulation loop with cProfile "
+                          "and dump pstats data to this path on exit "
+                          "(written even when the run stops early)")
     run.add_argument("--log-level", default=None,
                      choices=("debug", "info", "warning", "error"),
                      help="enable structured logging at this level")

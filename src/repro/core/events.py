@@ -27,9 +27,13 @@ class WeaveEvent:
                  "is_response")
 
     def __init__(self):
+        self.children = []
         self.reset(None, "", 0, 0, 0, 0)
 
     def reset(self, component, kind, line, min_cycle, service, core_id):
+        # ``children`` is deliberately left alone: the pool clears it in
+        # place on free (invariant: a pooled event has an empty edge
+        # list), so reset never reallocates.
         self.component = component
         self.kind = kind
         self.line = line
@@ -39,7 +43,6 @@ class WeaveEvent:
         self.parents_left = 0
         self.ready = min_cycle
         self.done = None
-        self.children = []
         self.is_response = False
         return self
 
@@ -84,10 +87,12 @@ class EventPool:
                            core_id)
 
     def free_all(self, events):
-        """Recycle a whole interval's events (LIFO order)."""
+        """Recycle a whole interval's events (LIFO order).  Edge lists
+        are cleared in place — the paired reset() skips them — so a
+        steady-state interval allocates no per-event lists at all."""
         free = self._free
         for event in events:
-            event.children = []
+            event.children.clear()
             free.append(event)
 
     def __len__(self):

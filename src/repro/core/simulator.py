@@ -101,6 +101,46 @@ class SimulationResult:
         backend = getattr(sim, "backend", None)
         self.host_exec = (backend.host_stats()
                           if backend is not None else {})
+        self.host_dbt = self._dbt_summary(sim)
+
+    @staticmethod
+    def _dbt_summary(sim):
+        """Host-side data-plane amortization counters (ISSUE 7): how much
+        per-instruction work the schedule-once descriptors, the L1 fast
+        path, and the recycling slabs actually absorbed this run."""
+        tcaches = {}
+        for thread in sim.scheduler.threads:
+            stream = getattr(thread, "stream", None)
+            tcache = getattr(stream, "tcache", None)
+            if tcache is not None:
+                tcaches[id(tcache)] = tcache
+        translations = sum(t.translations for t in tcaches.values())
+        thits = sum(t.hits for t in tcaches.values())
+        lookups = translations + thits
+        hierarchy = sim.hierarchy
+        fast = getattr(hierarchy, "fastpath_hits", 0)
+        slow = getattr(hierarchy, "slow_accesses", 0)
+        accesses = fast + slow
+        summary = {
+            "translations": translations,
+            "translation_hits": thits,
+            "translation_hit_rate": thits / lookups if lookups else 0.0,
+            "translation_evictions": sum(t.evictions
+                                         for t in tcaches.values()),
+            "translation_invalidations": sum(t.invalidations
+                                             for t in tcaches.values()),
+            "fastpath_hits": fast,
+            "slow_accesses": slow,
+            "fastpath_hit_rate": fast / accesses if accesses else 0.0,
+            "ctx_reuses": getattr(hierarchy, "ctx_reuses", 0),
+            "result_reuses": getattr(hierarchy, "result_reuses", 0),
+            "trace_recycles": getattr(sim, "trace_recycles", 0),
+        }
+        if sim.weave is not None:
+            pool = sim.weave.pool
+            summary["events_allocated"] = pool.allocated
+            summary["events_recycled"] = pool.recycled
+        return summary
 
     @property
     def mips(self):
@@ -158,6 +198,13 @@ class SimulationResult:
             # recovery bookkeeping with it.
             node = host.child("resilience")
             for key, value in sorted(self.resilience.items()):
+                node.set(key, value)
+        if self.host_dbt:
+            # Data-plane amortization (decode/schedule-once, L1 fast
+            # path, slabs): host-side — hit rates depend on interval
+            # sizing and wrappers, never on simulated results.
+            node = host.child("dbt")
+            for key, value in sorted(self.host_dbt.items()):
                 node.set(key, value)
         if self.weave_stats is not None:
             weave = root.child("weave")
@@ -269,6 +316,10 @@ class ZSim:
         #: N intervals a (cycle, instrs) sample is appended.
         self.stats_period_intervals = stats_period_intervals
         self.stat_samples = []
+        #: Trace-list freelist: emptied list shells from past intervals,
+        #: reinstalled on cores by _collect_traces (host-side only).
+        self._trace_freelist = []
+        self.trace_recycles = 0
         if telemetry is not None and telemetry.tracer is not None:
             self._name_tracks(telemetry.tracer)
         for thread in threads:
@@ -483,11 +534,14 @@ class ZSim:
             max(c.cycle for c in self.cores) >= max_cycles
 
     def _collect_traces(self):
-        """Harvest the weave traces every core recorded this interval."""
+        """Harvest the weave traces every core recorded this interval,
+        handing each core a recycled list from the trace freelist."""
         traces = {}
+        freelist = self._trace_freelist
         for core in self.cores:
             if core.trace:
-                traces[core.core_id] = core.take_trace()
+                fresh = freelist.pop() if freelist else None
+                traces[core.core_id] = core.take_trace(fresh)
         return traces
 
     def _weave_interval(self, backend=None):
@@ -506,6 +560,22 @@ class ZSim:
         weave_seconds = time.perf_counter() - weave_start
         for core_id, delay in delays.items():
             self.cores[core_id].apply_delay(delay)
+        # run_weave is the feedback barrier in every backend: once it
+        # returns, nothing observes this interval's trace records again,
+        # so both the AccessResults and the list shells go back to their
+        # slabs.  Result recycling is gated on the cores talking to the
+        # bare hierarchy — wrappers (_MD1Memory, test mem_wrappers) may
+        # mutate or retain results, so they opt out.
+        recycle = (self.hierarchy.recycle_results
+                   if self.mem is self.hierarchy else None)
+        freelist = self._trace_freelist
+        for trace in traces.values():
+            if recycle is not None:
+                recycle(result for _cycle, result in trace)
+            self.trace_recycles += len(trace)
+            trace.clear()
+            if len(freelist) < 64:
+                freelist.append(trace)
         return weave_seconds, self.weave.last_interval_domain_events
 
     def attach_telemetry(self, telemetry):
@@ -631,5 +701,9 @@ class ZSim:
             flight = None
         sim.flight = flight
         sim.monitor = None
+        # Checkpoints written by builds without the data-plane slabs
+        # predate these host-side attributes.
+        sim.__dict__.setdefault("_trace_freelist", [])
+        sim.__dict__.setdefault("trace_recycles", 0)
         sim._resume = (capsule["interval"], capsule["limit"])
         return sim

@@ -21,10 +21,12 @@ paper's crossing-dependency optimization (and its ablation).
 
 from __future__ import annotations
 
+import heapq
 import time
 
-from repro.core.events import EventPool
+from repro.core.events import EventPool, WeaveEvent
 from repro.core.domains import assign_domains
+from repro.errors import HorizonViolation
 from repro.obs.tracer import TID_DOMAIN
 
 
@@ -164,46 +166,93 @@ class WeaveEngine:
     # ------------------------------------------------------------------
 
     def _build_events(self, traces):
+        # Allocation and linking are inlined (the slab pop, the reset,
+        # and the gap arithmetic of WeaveEvent.link) — this runs once per
+        # traced access per interval and the call overhead dominates the
+        # work.  Chain/resp/wback events always have exactly one parent,
+        # so their parents_left is assigned, not incremented; only REQ
+        # events can pick up a second (MLP-window) edge.
         pool = self.pool
+        free_list = pool._free
         events = []
+        events_append = events.append
         last_resp = {}
+        mlp_get = self.mlp_window.get
+        core_weaves = self.core_weaves
         for core_id, trace in traces.items():
             if not trace:
                 continue
-            core_weave = self.core_weaves[core_id]
-            mlp = self.mlp_window.get(core_id, 1)
+            core_weave = core_weaves[core_id]
+            mlp = mlp_get(core_id, 1)
             resp_history = []
+            resp_append = resp_history.append
             for issue_cycle, result in trace:
-                req = pool.alloc(core_weave, "REQ", result.line,
-                                 issue_cycle, 0, core_id)
-                events.append(req)
+                line = result.line
+                if free_list:
+                    pool.recycled += 1
+                    req = free_list.pop()
+                else:
+                    pool.allocated += 1
+                    req = WeaveEvent()
+                req.reset(core_weave, "REQ", line, issue_cycle, 0, core_id)
+                events_append(req)
                 if len(resp_history) >= mlp:
-                    resp_history[-mlp].link(req)
+                    parent = resp_history[-mlp]
+                    gap = issue_cycle - parent.min_cycle - parent.service
+                    parent.children.append((req, gap if gap > 0 else 0))
+                    req.parents_left += 1
                 prev = req
-                for comp, offset, kind in result.steps:
-                    ev = pool.alloc(comp, kind, result.line,
-                                    issue_cycle + offset,
-                                    comp.zero_load_service(kind), core_id)
-                    events.append(ev)
-                    prev.link(ev)
+                prev_base = issue_cycle    # prev.min_cycle + prev.service
+                steps = result.steps
+                for comp, offset, kind in steps:
+                    min_cycle = issue_cycle + offset
+                    service = comp.zero_load_service(kind)
+                    if free_list:
+                        pool.recycled += 1
+                        ev = free_list.pop()
+                    else:
+                        pool.allocated += 1
+                        ev = WeaveEvent()
+                    ev.reset(comp, kind, line, min_cycle, service, core_id)
+                    events_append(ev)
+                    gap = min_cycle - prev_base
+                    prev.children.append((ev, gap if gap > 0 else 0))
+                    ev.parents_left = 1
                     prev = ev
-                resp = pool.alloc(core_weave, "RESP", result.line,
-                                  issue_cycle + result.latency, 0, core_id)
+                    prev_base = min_cycle + service
+                resp_cycle = issue_cycle + result.latency
+                if free_list:
+                    pool.recycled += 1
+                    resp = free_list.pop()
+                else:
+                    pool.allocated += 1
+                    resp = WeaveEvent()
+                resp.reset(core_weave, "RESP", line, resp_cycle, 0, core_id)
                 resp.is_response = True
-                events.append(resp)
-                prev.link(resp)
-                anchor = events[-len(result.steps) - 1] if result.steps \
-                    else req
+                events_append(resp)
+                gap = resp_cycle - prev_base
+                prev.children.append((resp, gap if gap > 0 else 0))
+                resp.parents_left = 1
+                anchor = events[-len(steps) - 1] if steps else req
+                anchor_base = anchor.min_cycle + anchor.service
                 for comp, offset, kind in result.wbacks:
-                    wb = pool.alloc(comp, kind, result.line,
-                                    issue_cycle + offset,
-                                    comp.zero_load_service(kind), core_id)
-                    events.append(wb)
-                    anchor.link(wb)
-                resp_history.append(resp)
+                    min_cycle = issue_cycle + offset
+                    if free_list:
+                        pool.recycled += 1
+                        wb = free_list.pop()
+                    else:
+                        pool.allocated += 1
+                        wb = WeaveEvent()
+                    wb.reset(comp, kind, line, min_cycle,
+                             comp.zero_load_service(kind), core_id)
+                    events_append(wb)
+                    gap = min_cycle - anchor_base
+                    anchor.children.append((wb, gap if gap > 0 else 0))
+                    wb.parents_left = 1
+                resp_append(resp)
                 if len(resp_history) > mlp + 64:
                     del resp_history[:32]
-                last_resp[core_id] = resp
+            last_resp[core_id] = resp
         return events, last_resp
 
     # ------------------------------------------------------------------
@@ -240,6 +289,13 @@ class WeaveEngine:
         a deterministic, conservative emulation of zsim's
         thread-per-domain execution (see module docs)."""
         domains = self.domains
+        if len(domains) == 1 and self.journal is None:
+            # With one domain there is nothing to arbitrate between and
+            # no edge can cross domains (so no crossings and, even with
+            # the optimization ablated, no probes): the generic scan
+            # collapses to a plain heap drain.
+            self._drain_single(domains[0])
+            return
         while True:
             best = None
             best_cycle = None
@@ -256,6 +312,58 @@ class WeaveEngine:
                 self._run_crossing(best, cycle, item)
             else:
                 self._run_event(best, cycle, item)
+
+    def _drain_single(self, domain):
+        """Inlined drain for the single-domain case: identical pop order
+        ((cycle, seq) heap discipline), identical per-component ``occupy``
+        order, and the same horizon-floor invariant as
+        :meth:`Domain.pop` + :meth:`_run_event`, with the queue and
+        bookkeeping held in locals.  Domain counters are written back on
+        every exit so an aborted interval still reports honestly."""
+        queue = domain._queue
+        heappop = heapq.heappop
+        heappush = heapq.heappush
+        floor = domain._pop_floor
+        seq = domain._seq
+        executed = 0
+        try:
+            while queue:
+                cycle, _s, event = heappop(queue)
+                if floor is not None and cycle < floor:
+                    raise HorizonViolation(
+                        "domain %d popped an event at cycle %d below its "
+                        "interval floor %d: corrupt event timestamp or "
+                        "broken horizon discipline"
+                        % (domain.domain_id, cycle, floor),
+                        cycle=cycle, floor=floor, phase="weave",
+                        domain=domain.domain_id)
+                floor = cycle
+                start = event.ready
+                if cycle > start:
+                    start = cycle
+                done = event.component.occupy(start, event.kind,
+                                              event.line)
+                event.done = done
+                executed += 1
+                for child, gap in event.children:
+                    left = child.parents_left - 1
+                    child.parents_left = left
+                    candidate = done + gap
+                    if candidate > child.ready:
+                        child.ready = candidate
+                    if left == 0:
+                        ready = child.ready
+                        min_cycle = child.min_cycle
+                        seq += 1
+                        heappush(queue,
+                                 (ready if ready > min_cycle
+                                  else min_cycle, seq, child))
+        finally:
+            domain._pop_floor = floor
+            domain._seq = seq
+            domain.events_executed += executed
+            if floor is not None and floor > domain.current_cycle:
+                domain.current_cycle = floor
 
     def _run_event(self, domain, cycle, event):
         start = cycle if cycle >= event.ready else event.ready

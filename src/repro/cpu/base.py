@@ -108,8 +108,13 @@ class Core:
         if result.steps or result.wbacks:
             self.trace.append((issue_cycle, result))
 
-    def take_trace(self):
-        trace, self.trace = self.trace, []
+    def take_trace(self, fresh=None):
+        """Detach and return this interval's trace.  ``fresh`` installs a
+        recycled (already-cleared) list instead of allocating one — the
+        simulator feeds traces back through a freelist once the weave
+        phase has consumed them."""
+        trace = self.trace
+        self.trace = [] if fresh is None else fresh
         return trace
 
     def fill_stats(self, node):

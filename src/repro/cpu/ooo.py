@@ -24,10 +24,19 @@ system at their store-address execution cycle.
 
 from __future__ import annotations
 
-from repro.cpu.base import Core, RunOutcome, iter_fetch_lines
+from repro.cpu.base import Core, RunOutcome
 from repro.cpu.bpred import BranchPredictor
 from repro.isa.registers import NUM_REGS
 from repro.isa.uops import UopType
+
+# Flat dispatch constants: locals in the inner loop resolve faster than
+# class-attribute lookups per µop.
+_EXEC = UopType.EXEC
+_LOAD = UopType.LOAD
+_STORE_ADDR = UopType.STORE_ADDR
+_BRANCH = UopType.BRANCH
+_FENCE = UopType.FENCE
+_SYSCALL = UopType.SYSCALL
 
 
 class PortWindow:
@@ -128,14 +137,17 @@ class OOOCore(Core):
     # ------------------------------------------------------------------
 
     def run_until(self, limit_cycle):
-        if self.stream is None:
+        stream = self.stream
+        if stream is None:
             return RunOutcome.BLOCKED
+        stream_next = stream.__next__
+        simulate_bbl = self._simulate_bbl
         while self._retire_clock < limit_cycle:
             try:
-                decoded, bbl_exec = next(self.stream)
+                decoded, bbl_exec = stream_next()
             except StopIteration:
                 return RunOutcome.DONE
-            syscall = self._simulate_bbl(decoded, bbl_exec)
+            syscall = simulate_bbl(decoded, bbl_exec)
             if syscall is not None:
                 self.pending_syscall = syscall
                 return RunOutcome.SYSCALL
@@ -144,30 +156,41 @@ class OOOCore(Core):
     # ------------------------------------------------------------------
 
     def _simulate_bbl(self, decoded, bbl_exec):
+        # The inner loop consumes the flat schedule-once descriptor
+        # (decoded.flat + the static dependency schedule) with every hot
+        # name bound to a local.  Stage clocks live in locals and are
+        # written back at the end; a fault mid-block is recovered by the
+        # supervisor's snapshot restore, never by reusing this core.
         block = decoded.block
+        num_uops = decoded.num_uops
+        config = self.config
         self.bbls += 1
         self.instrs += block.num_instrs
-        self.uops += decoded.num_uops
+        self.uops += num_uops
 
         # Loop stream detector: a tight loop (the same small block
         # repeating) replays µops from the queue, skipping fetch and
         # decode entirely.
         lsd_hit = False
-        if self.config.loop_stream_detector:
+        if config.loop_stream_detector:
             recent = self._lsd_recent
             # The loop body is everything since the previous occurrence
             # of this block; it streams if it fits the µop queue.
             for idx in range(len(recent) - 1, -1, -1):
                 if recent[idx][0] == block.bbl_id:
                     loop_uops = (sum(u for _b, u in recent[idx + 1:])
-                                 + decoded.num_uops)
-                    if loop_uops <= self.config.lsd_max_uops:
+                                 + num_uops)
+                    if loop_uops <= config.lsd_max_uops:
                         lsd_hit = True
                         self.lsd_streams += 1
                     break
-            recent.append((block.bbl_id, decoded.num_uops))
+            recent.append((block.bbl_id, num_uops))
             if len(recent) > 4:
                 del recent[0]
+
+        mem_access = self.mem.access
+        core_id = self.core_id
+        trace_append = self.trace.append
 
         # (1) IFetch + BPred: adjust fetchClock.
         fetch = self._fetch_clock
@@ -176,22 +199,31 @@ class OOOCore(Core):
             lsd_hit = False  # mispredicts flush the µop queue
         self._mispredict_resume = 0
         if not lsd_hit:
-            for line_addr in iter_fetch_lines(block.address,
-                                              block.num_bytes,
-                                              self._line_bytes):
-                if line_addr != self._last_fetch_line:
-                    self._last_fetch_line = line_addr
-                    result = self.mem.access(self.core_id, line_addr,
-                                             False, fetch, ifetch=True)
-                    self._account_access(result, ifetch=True)
-                    if result.missed_levels:
+            last_line = self._last_fetch_line
+            for line_addr in decoded.fetch_lines:
+                if line_addr != last_line:
+                    last_line = line_addr
+                    result = mem_access(core_id, line_addr, False, fetch,
+                                        ifetch=True)
+                    missed = result.missed_levels
+                    if missed:
+                        if "l1i" in missed:
+                            self.l1i_misses += 1
+                        if "l2" in missed:
+                            self.l2_misses += 1
+                        if "l3" in missed:
+                            self.l3_misses += 1
                         fetch += result.latency
-                    self._record_trace(fetch, result)
+                    if result.steps or result.wbacks:
+                        trace_append((fetch, result))
+            self._last_fetch_line = last_line
         self._fetch_clock = fetch
 
         # (2.1) Decoder stalls: adjust decodeClock (skipped when the
         # LSD streams the loop from the µop queue).
-        decode = max(self._decode_clock + 1, fetch + 1)
+        decode = self._decode_clock + 1
+        if decode < fetch + 1:
+            decode = fetch + 1
         if not lsd_hit:
             decode += decoded.decode_cycles - 1
         self._decode_clock = decode
@@ -199,81 +231,254 @@ class OOOCore(Core):
         syscall = None
         addrs = bbl_exec.addrs
         sb = self._scoreboard
-        issue_width = self.config.issue_width
-        retire_width = self.config.retire_width
-        rob_size = self.config.rob_size
-        window_size = self.config.issue_window_size
+        issue_width = config.issue_width
+        retire_width = config.retire_width
+        rob_size = config.rob_size
+        window_size = config.issue_window_size
+        load_queue_size = config.load_queue_size
+        store_queue_size = config.store_queue_size
+        # Port window, inlined: the occupancy dict, its getter, and the
+        # prune countdown live in locals shared by every schedule site
+        # below, so prune points land exactly where PortWindow.schedule
+        # would put them.
+        ports = self._ports
+        ports_used = ports._used
+        ports_used_get = ports_used.get
+        ports_ops = ports._ops
+        rob = self._rob
+        rob_head = self._rob_head
+        rob_append = rob.append
+        window = self._window
+        window_head = self._window_head
+        window_append = window.append
+        store_buffer = self._store_buffer
+        store_order = self._store_order
+        releases = self._load_releases
+        last_store = self._last_store_cycle
+        last_mem_done = self._last_mem_done
+        fence_cycle = self._fence_cycle
+        issue_clock = self._issue_clock
+        issue_slots = self._issue_slots
+        retire_clock = self._retire_clock
+        retire_slots = self._retire_slots
+        debug_trace = self.debug_trace
+        conditional = decoded.conditional
+        done_cycles = []
+        done_append = done_cycles.append
 
-        if self._issue_clock < decode:
-            self._issue_clock = decode
-            self._issue_slots = 0
+        if issue_clock < decode:
+            issue_clock = decode
+            issue_slots = 0
 
-        for uop in decoded.uops:
+        for utype, lat, portmask, mem_slot, dep1, gsrc1, dep2, gsrc2 \
+                in decoded.flat:
             # (2.3) Issue width: adjust issueClock.
-            if self._issue_slots >= issue_width:
-                self._issue_clock += 1
-                self._issue_slots = 0
-            self._issue_slots += 1
-            dispatch = self._issue_clock
+            if issue_slots >= issue_width:
+                issue_clock += 1
+                issue_slots = 0
+            issue_slots += 1
+            dispatch = issue_clock
             if dispatch < decode:
                 dispatch = decode
 
             # ROB capacity: stall issue until the head-of-line µop
             # retires when the ROB is full.
-            rob = self._rob
-            if len(rob) - self._rob_head >= rob_size:
-                head_retire = rob[self._rob_head]
-                self._rob_head += 1
-                if self._rob_head > 8192:
-                    del rob[:self._rob_head]
-                    self._rob_head = 0
+            if len(rob) - rob_head >= rob_size:
+                head_retire = rob[rob_head]
+                rob_head += 1
+                if rob_head > 8192:
+                    del rob[:rob_head]
+                    rob_head = 0
                 if head_retire > dispatch:
                     dispatch = head_retire
-                    self._issue_clock = head_retire
-                    self._issue_slots = 1
+                    issue_clock = head_retire
+                    issue_slots = 1
 
             # Issue-window capacity: oldest unexecuted µop must leave.
-            window = self._window
-            if len(window) - self._window_head >= window_size:
-                head_exec = window[self._window_head]
-                self._window_head += 1
-                if self._window_head > 8192:
-                    del window[:self._window_head]
-                    self._window_head = 0
+            if len(window) - window_head >= window_size:
+                head_exec = window[window_head]
+                window_head += 1
+                if window_head > 8192:
+                    del window[:window_head]
+                    window_head = 0
                 if head_exec > dispatch:
                     dispatch = head_exec
 
-            # (2.2) Minimum execution cycle from the scoreboard.
+            # (2.2) Minimum execution cycle from the static dependency
+            # schedule: in-block producers by index, pre-block values
+            # from the global scoreboard.
             exec_min = dispatch
-            src = uop.src1
-            if src >= 0 and sb[src] > exec_min:
-                exec_min = sb[src]
-            src = uop.src2
-            if src >= 0 and sb[src] > exec_min:
-                exec_min = sb[src]
+            if dep1 >= 0:
+                ready = done_cycles[dep1]
+                if ready > exec_min:
+                    exec_min = ready
+            elif gsrc1 >= 0:
+                ready = sb[gsrc1]
+                if ready > exec_min:
+                    exec_min = ready
+            if dep2 >= 0:
+                ready = done_cycles[dep2]
+                if ready > exec_min:
+                    exec_min = ready
+            elif gsrc2 >= 0:
+                ready = sb[gsrc2]
+                if ready > exec_min:
+                    exec_min = ready
 
-            utype = uop.type
-            done = None
-            if utype == UopType.LOAD:
-                exec_min, done, exec_cycle = self._exec_load(
-                    uop, addrs, exec_min)
-            elif utype == UopType.STORE_ADDR:
-                exec_min, done, exec_cycle = self._exec_store(
-                    uop, addrs, exec_min)
-            elif utype == UopType.FENCE:
+            # (2.4) Execute: schedule on a compatible free port; EXEC
+            # (the most common µop) is tested first, and the load/store
+            # unit is inlined (it is ~a third of all µops).
+            if utype == _EXEC:
+                exec_cycle = exec_min
+                occ = ports_used_get(exec_cycle, 0)
+                free = portmask & ~occ
+                while not free:
+                    exec_cycle += 1
+                    occ = ports_used_get(exec_cycle, 0)
+                    free = portmask & ~occ
+                ports_used[exec_cycle] = occ | (free & -free)
+                ports_ops += 1
+                if ports_ops >= 4096:
+                    ports._prune(exec_min)
+                    ports_used = ports._used
+                    ports_used_get = ports_used.get
+                    ports_ops = 0
+                done = exec_cycle + lat
+            elif utype == _LOAD:
+                self.loads += 1
+                addr = addrs[mem_slot]
+                if fence_cycle > exec_min:
+                    exec_min = fence_cycle
+                # Load-queue capacity.
+                if len(releases) >= load_queue_size:
+                    head = releases.pop(0)
+                    if head > exec_min:
+                        exec_min = head
+                exec_cycle = exec_min
+                occ = ports_used_get(exec_cycle, 0)
+                free = portmask & ~occ
+                while not free:
+                    exec_cycle += 1
+                    occ = ports_used_get(exec_cycle, 0)
+                    free = portmask & ~occ
+                ports_used[exec_cycle] = occ | (free & -free)
+                ports_ops += 1
+                if ports_ops >= 4096:
+                    ports._prune(exec_min)
+                    ports_used = ports._used
+                    ports_used_get = ports_used.get
+                    ports_ops = 0
+                ready = store_buffer.get(addr >> 3)
+                if ready is not None:
+                    # Store-to-load forwarding: bypass the memory system.
+                    self.forwarded_loads += 1
+                    done = (exec_cycle if exec_cycle >= ready
+                            else ready) + 1
+                else:
+                    result = mem_access(core_id, addr, False, exec_cycle)
+                    missed = result.missed_levels
+                    if missed:
+                        if "l1d" in missed:
+                            self.l1d_misses += 1
+                        if "l2" in missed:
+                            self.l2_misses += 1
+                        if "l3" in missed:
+                            self.l3_misses += 1
+                    if result.steps or result.wbacks:
+                        trace_append((exec_cycle, result))
+                    done = exec_cycle + result.latency
+                releases.append(done)
+                if done > last_mem_done:
+                    last_mem_done = done
+            elif utype == _STORE_ADDR:
+                self.stores += 1
+                addr = addrs[mem_slot]
+                if fence_cycle > exec_min:
+                    exec_min = fence_cycle
+                # TSO: stores execute in program order.
+                if last_store > exec_min:
+                    exec_min = last_store
+                # Store-queue capacity.
+                if len(store_order) >= store_queue_size:
+                    word_old, done_old = store_order.pop(0)
+                    if store_buffer.get(word_old) == done_old:
+                        del store_buffer[word_old]
+                    if done_old > exec_min:
+                        exec_min = done_old
+                exec_cycle = exec_min
+                occ = ports_used_get(exec_cycle, 0)
+                free = portmask & ~occ
+                while not free:
+                    exec_cycle += 1
+                    occ = ports_used_get(exec_cycle, 0)
+                    free = portmask & ~occ
+                ports_used[exec_cycle] = occ | (free & -free)
+                ports_ops += 1
+                if ports_ops >= 4096:
+                    ports._prune(exec_min)
+                    ports_used = ports._used
+                    ports_used_get = ports_used.get
+                    ports_ops = 0
+                last_store = exec_cycle
+                result = mem_access(core_id, addr, True, exec_cycle)
+                missed = result.missed_levels
+                if missed:
+                    if "l1d" in missed:
+                        self.l1d_misses += 1
+                    if "l2" in missed:
+                        self.l2_misses += 1
+                    if "l3" in missed:
+                        self.l3_misses += 1
+                if result.steps or result.wbacks:
+                    trace_append((exec_cycle, result))
+                done = exec_cycle + (lat if lat > 1 else 1)
+                avail = done + result.latency
+                if avail > last_mem_done:
+                    last_mem_done = avail
+                word = addr >> 3
+                store_buffer[word] = avail
+                store_order.append((word, avail))
+            elif utype == _FENCE:
                 # A full fence orders *all* prior memory operations.
-                fence_min = max(exec_min, self._last_store_cycle,
-                                self._last_mem_done)
-                exec_cycle = self._ports.schedule(fence_min, uop.ports)
-                done = exec_cycle + uop.lat
-                self._fence_cycle = done
+                if last_store > exec_min:
+                    exec_min = last_store
+                if last_mem_done > exec_min:
+                    exec_min = last_mem_done
+                exec_cycle = exec_min
+                occ = ports_used_get(exec_cycle, 0)
+                free = portmask & ~occ
+                while not free:
+                    exec_cycle += 1
+                    occ = ports_used_get(exec_cycle, 0)
+                    free = portmask & ~occ
+                ports_used[exec_cycle] = occ | (free & -free)
+                ports_ops += 1
+                if ports_ops >= 4096:
+                    ports._prune(exec_min)
+                    ports_used = ports._used
+                    ports_used_get = ports_used.get
+                    ports_ops = 0
+                done = exec_cycle + lat
+                fence_cycle = done
             else:
-                # (2.4) Schedule on a compatible free port.
-                exec_cycle = self._ports.schedule(exec_min, uop.ports)
-                done = exec_cycle + uop.lat
-                if utype == UopType.SYSCALL:
+                exec_cycle = exec_min
+                occ = ports_used_get(exec_cycle, 0)
+                free = portmask & ~occ
+                while not free:
+                    exec_cycle += 1
+                    occ = ports_used_get(exec_cycle, 0)
+                    free = portmask & ~occ
+                ports_used[exec_cycle] = occ | (free & -free)
+                ports_ops += 1
+                if ports_ops >= 4096:
+                    ports._prune(exec_min)
+                    ports_used = ports._used
+                    ports_used_get = ports_used.get
+                    ports_ops = 0
+                done = exec_cycle + lat
+                if utype == _SYSCALL:
                     syscall = bbl_exec.syscall or True
-                elif utype == UopType.BRANCH and decoded.conditional:
+                elif utype == _BRANCH and conditional:
                     self.cond_branches += 1
                     correct = self.bpred.predict_and_update(
                         block.address, bbl_exec.taken)
@@ -281,35 +486,44 @@ class OOOCore(Core):
                         self.mispredicts += 1
                         self._mispredict_resume = (
                             exec_cycle + self.bpred.mispredict_penalty)
-                        if self.config.wrong_path_fetch:
+                        if config.wrong_path_fetch:
                             self._fetch_wrong_path(block, bbl_exec,
                                                    exec_cycle)
 
-            # (2.6) Write back destinations to the scoreboard.
-            dst = uop.dst1
-            if dst >= 0:
-                sb[dst] = done
-            dst = uop.dst2
-            if dst >= 0:
-                sb[dst] = done
-            window.append(exec_cycle)
+            # (2.6) Completion cycle, read back by in-block dependents.
+            done_append(done)
+            window_append(exec_cycle)
 
             # (2.7) Retire: account ROB width, adjust retireClock.
             retire = done + 1
-            if retire <= self._retire_clock:
-                retire = self._retire_clock
-                self._retire_slots += 1
-                if self._retire_slots >= retire_width:
-                    self._retire_clock += 1
-                    self._retire_slots = 0
+            if retire <= retire_clock:
+                retire = retire_clock
+                retire_slots += 1
+                if retire_slots >= retire_width:
+                    retire_clock += 1
+                    retire_slots = 0
             else:
-                self._retire_clock = retire
-                self._retire_slots = 1
-            rob.append(retire)
-            if self.debug_trace is not None:
-                self.debug_trace.append((dispatch, exec_cycle, done,
-                                         retire))
+                retire_clock = retire
+                retire_slots = 1
+            rob_append(retire)
+            if debug_trace is not None:
+                debug_trace.append((dispatch, exec_cycle, done, retire))
 
+        # Scoreboard writeback from the static schedule: only each
+        # register's final in-block writer is visible to later blocks.
+        for reg, idx in decoded.final_writes:
+            sb[reg] = done_cycles[idx]
+
+        ports._ops = ports_ops
+        self._rob_head = rob_head
+        self._window_head = window_head
+        self._last_store_cycle = last_store
+        self._last_mem_done = last_mem_done
+        self._fence_cycle = fence_cycle
+        self._issue_clock = issue_clock
+        self._issue_slots = issue_slots
+        self._retire_clock = retire_clock
+        self._retire_slots = retire_slots
         return syscall
 
     def _fetch_wrong_path(self, block, bbl_exec, branch_cycle):
@@ -330,65 +544,6 @@ class OOOCore(Core):
         # Wrong-path fetch latency is hidden by the recovery penalty;
         # only the cache-state side effects persist.
         self._record_trace(branch_cycle, result)
-
-    # ------------------------------------------------------------------
-
-    def _exec_load(self, uop, addrs, exec_min):
-        self.loads += 1
-        addr = addrs[uop.mem_slot]
-        if self._fence_cycle > exec_min:
-            exec_min = self._fence_cycle
-        # Load-queue capacity.
-        releases = self._load_releases
-        if len(releases) >= self.config.load_queue_size:
-            head = releases.pop(0)
-            if head > exec_min:
-                exec_min = head
-        exec_cycle = self._ports.schedule(exec_min, uop.ports)
-        word = addr >> 3
-        ready = self._store_buffer.get(word)
-        if ready is not None:
-            # Store-to-load forwarding: bypass the memory system.
-            self.forwarded_loads += 1
-            done = max(exec_cycle, ready) + 1
-        else:
-            result = self.mem.access(self.core_id, addr, False, exec_cycle)
-            self._account_access(result)
-            self._record_trace(exec_cycle, result)
-            done = exec_cycle + result.latency
-        releases.append(done)
-        if done > self._last_mem_done:
-            self._last_mem_done = done
-        return exec_min, done, exec_cycle
-
-    def _exec_store(self, uop, addrs, exec_min):
-        self.stores += 1
-        addr = addrs[uop.mem_slot]
-        if self._fence_cycle > exec_min:
-            exec_min = self._fence_cycle
-        # TSO: stores execute in program order.
-        if self._last_store_cycle > exec_min:
-            exec_min = self._last_store_cycle
-        # Store-queue capacity.
-        order = self._store_order
-        if len(order) >= self.config.store_queue_size:
-            word_old, done_old = order.pop(0)
-            if self._store_buffer.get(word_old) == done_old:
-                del self._store_buffer[word_old]
-            if done_old > exec_min:
-                exec_min = done_old
-        exec_cycle = self._ports.schedule(exec_min, uop.ports)
-        self._last_store_cycle = exec_cycle
-        result = self.mem.access(self.core_id, addr, True, exec_cycle)
-        self._account_access(result)
-        self._record_trace(exec_cycle, result)
-        done = exec_cycle + max(1, uop.lat)
-        if done + result.latency > self._last_mem_done:
-            self._last_mem_done = done + result.latency
-        word = addr >> 3
-        self._store_buffer[word] = done + result.latency
-        order.append((word, done + result.latency))
-        return exec_min, done, exec_cycle
 
     # ------------------------------------------------------------------
 

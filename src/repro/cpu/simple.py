@@ -9,8 +9,7 @@ count."
 
 from __future__ import annotations
 
-from repro.cpu.base import Core, RunOutcome, iter_fetch_lines
-from repro.isa.uops import UopType
+from repro.cpu.base import Core, RunOutcome
 
 
 class SimpleCore(Core):
@@ -27,56 +26,82 @@ class SimpleCore(Core):
         return self._cycle
 
     def run_until(self, limit_cycle):
-        if self.stream is None:
+        # Consumes only the flat schedule-once descriptor fields
+        # (fetch_lines, mem_ops, has_syscall): no per-µop object walks.
+        # Clocks live in locals and are written back on every exit; a
+        # fault mid-run is recovered by the supervisor's snapshot
+        # restore, never by reusing this core.
+        stream = self.stream
+        if stream is None:
             return RunOutcome.BLOCKED
-        mem = self.mem
+        stream_next = stream.__next__
+        mem_access = self.mem.access
         core_id = self.core_id
-        while self._cycle < limit_cycle:
+        trace_append = self.trace.append
+        cycle = self._cycle
+        last_line = self._last_fetch_line
+        while cycle < limit_cycle:
             try:
-                decoded, bbl_exec = next(self.stream)
+                decoded, bbl_exec = stream_next()
             except StopIteration:
+                self._cycle = cycle
+                self._last_fetch_line = last_line
                 return RunOutcome.DONE
             block = decoded.block
             self.bbls += 1
             self.instrs += block.num_instrs
             self.uops += decoded.num_uops
             # Instruction fetch: one L1I access per new line touched.
-            for line_addr in iter_fetch_lines(block.address,
-                                              block.num_bytes,
-                                              self._line_bytes):
-                if line_addr != self._last_fetch_line:
-                    self._last_fetch_line = line_addr
-                    result = mem.access(core_id, line_addr, False,
-                                        self._cycle, ifetch=True)
-                    self._account_access(result, ifetch=True)
-                    if result.missed_levels:
-                        self._cycle += result.latency
-                    self._record_trace(self._cycle, result)
+            for line_addr in decoded.fetch_lines:
+                if line_addr != last_line:
+                    last_line = line_addr
+                    result = mem_access(core_id, line_addr, False,
+                                        cycle, ifetch=True)
+                    missed = result.missed_levels
+                    if missed:
+                        if "l1i" in missed:
+                            self.l1i_misses += 1
+                        if "l2" in missed:
+                            self.l2_misses += 1
+                        if "l3" in missed:
+                            self.l3_misses += 1
+                        cycle += result.latency
+                    if result.steps or result.wbacks:
+                        trace_append((cycle, result))
             # One cycle per instruction; memory µops add their latency.
             addrs = bbl_exec.addrs
-            syscall = None
-            for uop in decoded.uops:
-                utype = uop.type
-                if utype == UopType.LOAD or utype == UopType.STORE_ADDR:
-                    write = utype == UopType.STORE_ADDR
-                    if write:
-                        self.stores += 1
-                    else:
-                        self.loads += 1
-                    result = mem.access(core_id, addrs[uop.mem_slot],
-                                        write, self._cycle)
-                    self._account_access(result)
-                    self._record_trace(self._cycle, result)
-                    if result.missed_levels:
-                        # L1 hits are covered by the instruction's own
-                        # cycle; misses add their full latency.
-                        self._cycle += result.latency
-                elif utype == UopType.SYSCALL:
-                    syscall = bbl_exec.syscall
-            self._cycle += block.num_instrs
-            if syscall is not None:
-                self.pending_syscall = syscall
-                return RunOutcome.SYSCALL
+            for mem_slot, write in decoded.mem_ops:
+                if write:
+                    self.stores += 1
+                else:
+                    self.loads += 1
+                result = mem_access(core_id, addrs[mem_slot], write,
+                                    cycle)
+                missed = result.missed_levels
+                # Data traces are stamped at the issue cycle, before
+                # the miss latency lands (ifetch stamps after).
+                if result.steps or result.wbacks:
+                    trace_append((cycle, result))
+                if missed:
+                    if "l1d" in missed:
+                        self.l1d_misses += 1
+                    if "l2" in missed:
+                        self.l2_misses += 1
+                    if "l3" in missed:
+                        self.l3_misses += 1
+                    # L1 hits are covered by the instruction's own
+                    # cycle; misses add their full latency.
+                    cycle += result.latency
+            cycle += block.num_instrs
+            if decoded.has_syscall:
+                syscall = bbl_exec.syscall
+                if syscall is not None:
+                    self.pending_syscall = syscall
+                    self._cycle = cycle
+                    self._last_fetch_line = last_line
+                    return RunOutcome.SYSCALL
+        self._cycle = cycle
+        self._last_fetch_line = last_line
         return RunOutcome.LIMIT
 
     def apply_delay(self, delay):

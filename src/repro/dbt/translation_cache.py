@@ -14,6 +14,8 @@ block must be freed and re-decoded on next use.
 
 from __future__ import annotations
 
+from collections import OrderedDict
+
 from repro.isa.decoder import decode_bbl
 
 
@@ -22,12 +24,17 @@ class TranslationCache:
 
     def __init__(self, capacity=None):
         """``capacity`` optionally bounds the number of cached blocks;
-        when full, the least-recently-translated block is evicted (a
-        simple stand-in for Pin's code-cache eviction)."""
-        self._cache = {}
+        when full, the least-recently-*used* block is evicted (a simple
+        stand-in for Pin's code-cache eviction).  Hits refresh recency,
+        so a hot block survives capacity pressure indefinitely."""
+        self._cache = OrderedDict()
         self._capacity = capacity
         self.translations = 0
         self.hits = 0
+        #: Blocks dropped by capacity pressure; distinct from
+        #: ``invalidations`` (explicit drops: self-modifying code,
+        #: program teardown), which capacity evictions used to pollute.
+        self.evictions = 0
         self.invalidations = 0
 
     def translate(self, block, program_id=0):
@@ -36,13 +43,16 @@ class TranslationCache:
         decoded = self._cache.get(key)
         if decoded is not None:
             self.hits += 1
+            if self._capacity is not None:
+                # Unbounded caches never evict, so recency bookkeeping
+                # would be pure overhead on the hottest path in the
+                # simulator.
+                self._cache.move_to_end(key)
             return decoded
         decoded = decode_bbl(block)
         if self._capacity is not None and len(self._cache) >= self._capacity:
-            # Evict the oldest translation (dict preserves insert order).
-            oldest = next(iter(self._cache))
-            del self._cache[oldest]
-            self.invalidations += 1
+            self._cache.popitem(last=False)
+            self.evictions += 1
         self._cache[key] = decoded
         self.translations += 1
         return decoded

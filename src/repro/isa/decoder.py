@@ -22,9 +22,20 @@ from repro.isa.uops import PORTS_BRANCH, Uop, UopType
 PREDECODE_BYTES_PER_CYCLE = 16
 DECODE_WIDTH = 4
 
+#: Line size used for the precomputed fetch-line table.  The core
+#: models hardcode the same 64-byte fetch granularity.
+FETCH_LINE_BYTES = 64
+
 
 class DecodedBBL:
     """Decoded descriptor for one static basic block.
+
+    Beyond the per-µop :class:`~repro.isa.uops.Uop` objects, the
+    descriptor carries the *schedule-once* data plane: flat parallel
+    tuples, frontend aggregates, and a static intra-block dependency
+    schedule, all built at translation time so dynamic executions touch
+    only precomputed scalars (the paper's decode-once amortization,
+    extended through scheduling).
 
     Attributes:
         block: the static :class:`~repro.isa.program.BasicBlock`.
@@ -34,27 +45,84 @@ class DecodedBBL:
         branch_uop_index: index of the terminating branch µop, or -1.
         conditional: whether the terminating branch is conditional.
         fused_pairs: number of macro-fused cmp+branch pairs.
+        num_uops: µop count (flat int; was a property pre-refactor).
+        fetch_lines: tuple of 64-byte line addresses an ifetch of this
+            block touches, in order.
+        mem_ops: tuple of ``(mem_slot, is_write)`` for LOAD/STORE_ADDR
+            µops in program order (the IPC1 core's whole data plane).
+        has_syscall: whether any µop is a SYSCALL.
+        flat: per-µop 8-tuples ``(type, lat, ports, mem_slot, dep1,
+            gsrc1, dep2, gsrc2)``.  ``depN`` is the index of the last
+            prior in-block writer of source N (-1 when the value comes
+            from before the block), ``gsrcN`` is the architectural
+            register to read from the global scoreboard in that case
+            (-1 when source N is absent or satisfied in-block).
+        final_writes: tuple of ``(reg, uop_index)`` naming, for every
+            register written in the block, its *last* writer — the only
+            scoreboard entries later blocks can observe.
     """
 
     __slots__ = ("block", "uops", "decode_cycles", "branch_uop_index",
-                 "conditional", "fused_pairs", "num_loads", "num_stores")
+                 "conditional", "fused_pairs", "num_loads", "num_stores",
+                 "num_uops", "fetch_lines", "mem_ops", "has_syscall",
+                 "flat", "final_writes")
 
     def __init__(self, block, uops, decode_cycles, branch_uop_index,
                  conditional, fused_pairs):
         self.block = block
-        self.uops = tuple(uops)
+        self.uops = uops = tuple(uops)
         self.decode_cycles = decode_cycles
         self.branch_uop_index = branch_uop_index
         self.conditional = conditional
         self.fused_pairs = fused_pairs
-        self.num_loads = sum(1 for u in self.uops
-                             if u.type == UopType.LOAD)
-        self.num_stores = sum(1 for u in self.uops
+        self.num_uops = len(uops)
+        self.num_loads = sum(1 for u in uops if u.type == UopType.LOAD)
+        self.num_stores = sum(1 for u in uops
                               if u.type == UopType.STORE_ADDR)
 
-    @property
-    def num_uops(self):
-        return len(self.uops)
+        lines = []
+        line = block.address & ~(FETCH_LINE_BYTES - 1)
+        end = block.address + block.num_bytes
+        while line < end:
+            lines.append(line)
+            line += FETCH_LINE_BYTES
+        self.fetch_lines = tuple(lines)
+
+        self.mem_ops = tuple(
+            (u.mem_slot, u.type == UopType.STORE_ADDR) for u in uops
+            if u.type == UopType.LOAD or u.type == UopType.STORE_ADDR)
+        self.has_syscall = any(u.type == UopType.SYSCALL for u in uops)
+
+        # Static dependency schedule.  A source register written earlier
+        # in the block depends on that writer's completion cycle; one
+        # written before the block reads the global scoreboard.  Only
+        # the final writer of each register is visible after the block.
+        last_writer = {}
+        final = {}
+        flat = []
+        for i, u in enumerate(uops):
+            src = u.src1
+            if src >= 0:
+                dep1 = last_writer.get(src, -1)
+                gsrc1 = src if dep1 < 0 else -1
+            else:
+                dep1 = gsrc1 = -1
+            src = u.src2
+            if src >= 0:
+                dep2 = last_writer.get(src, -1)
+                gsrc2 = src if dep2 < 0 else -1
+            else:
+                dep2 = gsrc2 = -1
+            flat.append((u.type, u.lat, u.ports, u.mem_slot,
+                         dep1, gsrc1, dep2, gsrc2))
+            if u.dst1 >= 0:
+                last_writer[u.dst1] = i
+                final[u.dst1] = i
+            if u.dst2 >= 0:
+                last_writer[u.dst2] = i
+                final[u.dst2] = i
+        self.flat = tuple(flat)
+        self.final_writes = tuple(final.items())
 
     def __repr__(self):
         return ("DecodedBBL(block=%d, %d uops, %d decode cycles)"

@@ -50,6 +50,24 @@ class AccessContext:
         #: Off-critical-path writebacks: (weave_component, offset, kind).
         self.wbacks = []
 
+    def reset(self, core_id, line, write, ifetch=False):
+        """Reinitialize a slab-recycled context for a new access.
+
+        The list attributes are cleared in place rather than reallocated:
+        :class:`AccessResult` copies them into tuples, so nothing retains
+        the lists themselves across accesses."""
+        self.core_id = core_id
+        self.line = line
+        self.write = write
+        self.ifetch = ifetch
+        self.latency = 0
+        self.shared_evictions = ()
+        self.steps.clear()
+        self.missed_levels.clear()
+        self.hit_level = None
+        self.invalidations = 0
+        self.wbacks.clear()
+
     def add_step(self, weave_component, kind):
         if weave_component is not None:
             self.steps.append((weave_component, self.latency, kind))
@@ -84,6 +102,22 @@ class AccessResult:
                  "shared_evictions")
 
     def __init__(self, ctx):
+        self.latency = ctx.latency
+        self.missed_levels = tuple(ctx.missed_levels)
+        self.hit_level = ctx.hit_level
+        self.steps = tuple(ctx.steps)
+        self.wbacks = tuple(ctx.wbacks)
+        self.line = ctx.line
+        self.write = ctx.write
+        self.core_id = ctx.core_id
+        self.invalidations = ctx.invalidations
+        self.shared_evictions = ctx.shared_evictions
+
+    def refill(self, ctx):
+        """Rewrite every slot from ``ctx`` — the slab-recycle analogue of
+        ``__init__``.  Callers own the instance exclusively (results are
+        only recycled once the weave phase has consumed them), so "immutable
+        summary" still holds for everyone who can observe one."""
         self.latency = ctx.latency
         self.missed_levels = tuple(ctx.missed_levels)
         self.hit_level = ctx.hit_level

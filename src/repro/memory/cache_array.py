@@ -28,6 +28,17 @@ class CacheArray:
         self._ways = [[None] * ways for _ in range(num_sets)]
         self._repl = [make_policy(repl, ways, seed + i)
                       for i in range(num_sets)]
+        #: Free ways per set: lets a steady-state fill() (full set) skip
+        #: the way scan and go straight to the replacement policy.
+        self._free = [ways] * num_sets
+
+    def __setstate__(self, state):
+        # Checkpoints written before free-way tracking lack _free:
+        # recompute it from the way arrays.
+        self.__dict__.update(state)
+        if "_free" not in state:
+            self._free = [sum(way is None for way in ways)
+                          for ways in self._ways]
 
     def set_index(self, line):
         if self.hash_sets:
@@ -64,12 +75,11 @@ class CacheArray:
         ways = self._ways[idx]
         repl = self._repl[idx]
         victim_line = victim_state = None
-        way = None
-        for candidate in range(self.ways):
-            if ways[candidate] is None:
-                way = candidate
-                break
-        if way is None:
+        if self._free[idx]:
+            # Lowest free way, matching the historical scan order.
+            way = ways.index(None)
+            self._free[idx] -= 1
+        else:
             way = repl.victim()
             victim_line = ways[way]
             victim_state = lines[victim_line][1]
@@ -87,6 +97,7 @@ class CacheArray:
             return None
         way, state = entry
         self._ways[idx][way] = None
+        self._free[idx] += 1
         return state
 
     def occupancy(self):
@@ -109,7 +120,6 @@ class CacheArray:
         lines = self._lines[idx]
         if line in lines:
             return None
-        ways = self._ways[idx]
-        if any(w is None for w in ways):
+        if self._free[idx]:
             return None
-        return ways[self._repl[idx].victim()]
+        return self._ways[idx][self._repl[idx].victim()]

@@ -12,11 +12,20 @@ from __future__ import annotations
 
 from repro.memory.access import AccessContext, AccessResult
 from repro.memory.cache import Cache, MainMemory
+from repro.memory.coherence import MESI
 from repro.memory.network import Network
 from repro.memory.weave import CacheBankWeave, MemCtrlWeave
 from repro.obs.histogram import Log2Histogram
 
 _HASH_MULT = 0x9E3779B1
+
+_MESI_E = MESI.E
+_MESI_M = MESI.M
+
+#: Upper bound on pooled AccessResults; beyond this, recycled results are
+#: simply dropped to the GC (an interval with a pathological miss storm
+#: must not pin memory forever).
+_RESULT_POOL_CAP = 4096
 
 
 def hash_line(line):
@@ -142,6 +151,21 @@ class MemoryHierarchy:
         self._wire_children()
         self._rewire_parents()
 
+        # --- Data-plane slabs and the L1-hit fast path ----------------
+        #: Tests may clear this to force every access down the full
+        #: coherence walk (used to prove fast-path equivalence).  The
+        #: fast path is only legal while L1s carry no weave component,
+        #: which the builder guarantees (private levels are bound-phase
+        #: only); recomputed here in case a config ever changes that.
+        self.enable_fastpath = all(
+            c.weave is None for c in self.l1i + self.l1d)
+        self._ctx_pool = []
+        self._result_pool = []
+        self.fastpath_hits = 0
+        self.slow_accesses = 0
+        self.ctx_reuses = 0
+        self.result_reuses = 0
+
     # ------------------------------------------------------------------
     # Wiring helpers
     # ------------------------------------------------------------------
@@ -193,15 +217,30 @@ class MemoryHierarchy:
 
     def __getstate__(self):
         """Telemetry and the profiler are host-side observers, never
-        simulated state; the routing closures are rebuilt on load."""
+        simulated state; the routing closures are rebuilt on load.  The
+        recycling slabs hold only dead scratch objects, so checkpoints
+        ship them empty."""
         state = self.__dict__.copy()
         state["_telem"] = None
         state["_metrics_latency"] = None
         state["profiler"] = None
+        state["_ctx_pool"] = []
+        state["_result_pool"] = []
         return state
 
     def __setstate__(self, state):
         self.__dict__.update(state)
+        # Checkpoints written by builds without the data-plane slabs
+        # lack these attributes; default them rather than crash.
+        d = self.__dict__
+        d.setdefault("enable_fastpath", all(
+            c.weave is None for c in self.l1i + self.l1d))
+        d.setdefault("_ctx_pool", [])
+        d.setdefault("_result_pool", [])
+        d.setdefault("fastpath_hits", 0)
+        d.setdefault("slow_accesses", 0)
+        d.setdefault("ctx_reuses", 0)
+        d.setdefault("result_reuses", 0)
         self._rewire_parents()
 
     def _wire_children(self):
@@ -234,15 +273,75 @@ class MemoryHierarchy:
 
     def access(self, core_id, addr, write, cycle=0, ifetch=False):
         """One core access; returns an :class:`AccessResult` whose latency
-        is the zero-load bound and whose steps feed the weave phase."""
+        is the zero-load bound and whose steps feed the weave phase.
+
+        The dominant case — a private-L1 hit with no coherence side
+        effects — is served by a fast path that allocates no
+        :class:`AccessContext` at all: it peeks the array, touches the
+        replacement state once (exactly like the slow path's single
+        ``lookup``), bumps the same counters, and fills a slab-recycled
+        result.  A write hit needs the line in E or M; a write hit in S
+        requires an upgrade and falls through to the coherence walk."""
         line = addr >> self.line_bits
-        ctx = AccessContext(core_id, line, write, ifetch)
         l1 = self.l1i[core_id] if ifetch else self.l1d[core_id]
+        if self.enable_fastpath:
+            array = l1.array
+            # Private L1 arrays are unhashed in every shipped config;
+            # inline that set-index case.
+            idx = (line % array.num_sets if not array.hash_sets
+                   else array.set_index(line))
+            entry = array._lines[idx].get(line)
+            if entry is not None and (not write or entry[1] >= _MESI_E):
+                way = entry[0]
+                array._repl[idx].touch(way)
+                l1.accesses += 1
+                l1.hits += 1
+                if write:
+                    array._lines[idx][line] = (way, _MESI_M)
+                self.fastpath_hits += 1
+                pool = self._result_pool
+                if pool:
+                    result = pool.pop()
+                    self.result_reuses += 1
+                else:
+                    result = AccessResult.__new__(AccessResult)
+                latency = l1.latency
+                result.latency = latency
+                result.missed_levels = ()
+                result.hit_level = l1.level
+                result.steps = ()
+                result.wbacks = ()
+                result.line = line
+                result.write = write
+                result.core_id = core_id
+                result.invalidations = 0
+                result.shared_evictions = ()
+                self.access_latency.record(latency)
+                if self._metrics_latency is not None:
+                    self._metrics_latency.record(latency)
+                if self.profiler is not None:
+                    self.profiler.record(result, cycle)
+                return result
+        self.slow_accesses += 1
+        ctx_pool = self._ctx_pool
+        if ctx_pool:
+            ctx = ctx_pool.pop()
+            ctx.reset(core_id, line, write, ifetch)
+            self.ctx_reuses += 1
+        else:
+            ctx = AccessContext(core_id, line, write, ifetch)
         l1.handle_access(line, write, None, ctx)
         if (self.prefetchers and not ifetch
                 and "l1d" in ctx.missed_levels):
             self._prefetch(core_id, line, ctx)
-        result = AccessResult(ctx)
+        pool = self._result_pool
+        if pool:
+            result = pool.pop()
+            result.refill(ctx)
+            self.result_reuses += 1
+        else:
+            result = AccessResult(ctx)
+        ctx_pool.append(ctx)
         self.access_latency.record(result.latency)
         if self._metrics_latency is not None:
             self._metrics_latency.record(result.latency)
@@ -252,6 +351,18 @@ class MemoryHierarchy:
         if self.profiler is not None:
             self.profiler.record(result, cycle)
         return result
+
+    def recycle_results(self, results):
+        """Return dead :class:`AccessResult` objects to the slab.
+
+        Callers must guarantee nothing observes the objects afterwards —
+        in practice the simulator hands back an interval's trace results
+        once the weave phase (the last consumer) has run."""
+        pool = self._result_pool
+        for result in results:
+            if len(pool) >= _RESULT_POOL_CAP:
+                break
+            pool.append(result)
 
     def attach_telemetry(self, telemetry):
         """Install (or detach, with None) the observability context; the

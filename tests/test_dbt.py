@@ -61,9 +61,24 @@ class TestTranslationCache:
         for block in program.blocks:
             cache.translate(block)
         assert len(cache) == 3
-        assert cache.invalidations == 2
+        # Capacity pressure counts as eviction, not invalidation.
+        assert cache.evictions == 2
+        assert cache.invalidations == 0
         # The oldest translations were evicted.
         assert (0, 0) not in cache and (0, 4) in cache
+
+    def test_lru_hit_refreshes_recency(self):
+        program = build_program(num_blocks=4)
+        cache = TranslationCache(capacity=3)
+        for block in program.blocks[:3]:
+            cache.translate(block)
+        # Re-touch block 0: it becomes most-recent and must survive the
+        # eviction forced by block 3.
+        cache.translate(program.block(0))
+        cache.translate(program.block(3))
+        assert (0, 0) in cache
+        assert (0, 1) not in cache
+        assert cache.evictions == 1
 
 
 class TestInstrumentedStream:
