@@ -11,9 +11,15 @@ Subcommands:
   (the benchmarks drive the same harness under pytest).
 * ``diff`` — structurally compare two stats-JSON trees (the
   equivalence oracle; exit 0 identical/within tolerance, 1 divergent).
-* ``report`` — render a flight-recorder post-mortem capsule as a
-  human-readable timeline.
-* ``top`` — watch a running simulation through its ``--status-file``.
+* ``report`` — render flight-recorder post-mortem capsules as
+  human-readable timelines (paths or directories; corrupt capsules are
+  skipped with a warning).
+* ``top`` — watch a running simulation (or fleet campaign) through its
+  status file.
+* ``fleet`` — crash-tolerant experiment campaigns: ``fleet run`` a
+  sweep spec under the durable journal, ``fleet resume`` a killed
+  campaign, ``fleet status`` its aggregated snapshot, ``fleet spec``
+  a canned paper-figure sweep (see docs/resilience.md).
 
 ``run`` carries the resilience layer's flags (see docs/resilience.md):
 ``--supervise``, ``--watchdog-budget``, ``--checkpoint-dir`` /
@@ -109,17 +115,23 @@ def _run_meta(args, workload, threads):
     process rebuilds the *same* workload."""
     return {"workload": workload.name, "scale": args.scale,
             "instrs": args.instrs, "threads": len(threads),
-            "contention": args.contention}
+            "contention": args.contention, "seed": args.seed_offset}
 
 
 def _resume_sim(args, meta, threads, telemetry, flight=None):
-    from repro.resilience import latest, read_checkpoint
+    from repro.errors import CheckpointError
+    from repro.resilience import read_checkpoint, read_latest_checkpoint
     path = args.resume
-    if os.path.isdir(path):
-        path = latest(path)
-        if path is None:
-            raise SystemExit("no checkpoints in %s" % args.resume)
-    capsule = read_checkpoint(path)
+    try:
+        if os.path.isdir(path):
+            # Falls back past corrupt/truncated capsules to the newest
+            # valid one; only an empty/all-corrupt directory raises.
+            path, capsule = read_latest_checkpoint(
+                path, flight=flight or None)
+        else:
+            capsule = read_checkpoint(path)
+    except CheckpointError as exc:
+        raise SystemExit(str(exc))
     saved_meta = capsule.get("meta") or {}
     if saved_meta and saved_meta != meta:
         diffs = ["%s: checkpoint=%r, flags=%r" % (k, saved_meta.get(k),
@@ -240,7 +252,8 @@ def cmd_run(args):
     workload = _resolve_workload(args.workload, args.scale, args.threads)
     threads = workload.make_threads(
         target_instrs=args.instrs,
-        num_threads=args.threads or workload.num_threads)
+        num_threads=args.threads or workload.num_threads,
+        seed_offset=args.seed_offset)
     telemetry = _make_telemetry(args)
     meta = _run_meta(args, workload, threads)
     flight = _make_flight(args)
@@ -411,14 +424,53 @@ def cmd_diff(args):
     return 0 if result.equivalent else 1
 
 
+def _expand_capsule_paths(paths):
+    """Expand directories into their ``postmortem-*.json`` capsules
+    (sorted), keeping explicit file paths as given."""
+    expanded = []
+    for path in paths:
+        if os.path.isdir(path):
+            try:
+                names = sorted(os.listdir(path))
+            except OSError as exc:
+                print("warning: could not list %s: %s" % (path, exc),
+                      file=sys.stderr)
+                continue
+            expanded.extend(os.path.join(path, n) for n in names
+                            if n.startswith("postmortem-")
+                            and n.endswith(".json"))
+        else:
+            expanded.append(path)
+    return expanded
+
+
 def cmd_report(args):
     from repro.obs import load_capsule, render_report
-    try:
-        capsule = load_capsule(args.capsule)
-    except (OSError, ValueError) as exc:
-        raise SystemExit("could not read capsule: %s" % exc)
-    print(render_report(capsule, last_seconds=args.last_seconds,
-                        max_events=args.max_events))
+    paths = _expand_capsule_paths(args.capsule)
+    if not paths:
+        raise SystemExit("no post-mortem capsules found under: %s"
+                         % " ".join(args.capsule))
+    rendered = 0
+    for index, path in enumerate(paths):
+        try:
+            capsule = load_capsule(path)
+        except (OSError, ValueError) as exc:
+            # A truncated or schema-skewed capsule (host died while the
+            # recorder flushed, or an old build wrote it) must not hide
+            # the readable ones next to it.
+            print("warning: skipping unreadable capsule %s: %s"
+                  % (path, exc), file=sys.stderr)
+            continue
+        if rendered:
+            print()
+        if len(paths) > 1:
+            print("=== %s" % path)
+        print(render_report(capsule, last_seconds=args.last_seconds,
+                            max_events=args.max_events))
+        rendered += 1
+    if not rendered:
+        raise SystemExit("no readable capsule among %d path(s)"
+                         % len(paths))
     return 0
 
 
@@ -448,6 +500,109 @@ def cmd_top(args):
         _time.sleep(period)
 
 
+def _fleet_orchestrator(args, spec_data=None, resume=False):
+    from repro.fleet import FleetOrchestrator
+    return FleetOrchestrator(
+        args.dir, spec_data=spec_data, resume=resume,
+        workers=args.workers, quarantine_after=args.quarantine_after,
+        job_timeout_s=args.job_timeout, term_grace_s=args.term_grace,
+        backoff_base_s=args.backoff_base,
+        checkpoint_every=args.checkpoint_every,
+        status_port=args.status_port, seed=args.seed,
+        retry_quarantined=getattr(args, "retry_quarantined", False),
+        rotate_bytes=args.rotate_bytes)
+
+
+def _fleet_campaign(args, orchestrator):
+    print("campaign %s: %d job(s) x %d worker(s) in %s"
+          % (orchestrator.spec.name, len(orchestrator.jobs),
+             orchestrator.workers, orchestrator.directory))
+    if orchestrator.monitor.port is not None:
+        print("status exposition: http://127.0.0.1:%d/metrics"
+              % orchestrator.monitor.port)
+    print("watch with: repro top %s"
+          % os.path.join(orchestrator.directory, "status.json"))
+    code = orchestrator.run()
+    summary = orchestrator.summary()
+    counts = summary["counts"]
+    print("campaign %s: %s (%d attempt(s), %d retried)"
+          % (summary["campaign"],
+             ", ".join("%d %s" % (counts[k], k) for k in sorted(counts)),
+             summary["attempts"], summary["retries"]))
+    for job_id in summary["quarantined"]:
+        print("  quarantined: %s (post-mortems under %s)"
+              % (job_id, os.path.join(orchestrator.directory, "jobs",
+                                      job_id)))
+    if code == EXIT_WALL_BUDGET:
+        print("campaign drained; resume with: repro fleet resume %s"
+              % orchestrator.directory)
+    return code
+
+
+def cmd_fleet_run(args):
+    import json
+
+    from repro.errors import FleetError
+    if args.log_level:
+        from repro.obs import configure_logging
+        configure_logging(args.log_level)
+    try:
+        with open(args.spec) as fh:
+            spec_data = json.load(fh)
+    except (OSError, ValueError) as exc:
+        raise SystemExit("could not read sweep spec %s: %s"
+                         % (args.spec, exc))
+    try:
+        orchestrator = _fleet_orchestrator(args, spec_data=spec_data)
+    except FleetError as exc:
+        raise SystemExit(str(exc))
+    return _fleet_campaign(args, orchestrator)
+
+
+def cmd_fleet_resume(args):
+    from repro.errors import FleetError
+    if args.log_level:
+        from repro.obs import configure_logging
+        configure_logging(args.log_level)
+    try:
+        orchestrator = _fleet_orchestrator(args, resume=True)
+    except FleetError as exc:
+        raise SystemExit(str(exc))
+    return _fleet_campaign(args, orchestrator)
+
+
+def cmd_fleet_status(args):
+    import json
+
+    from repro.obs import render_top
+    path = os.path.join(args.dir, "status.json")
+    try:
+        with open(path) as fh:
+            status = json.load(fh)
+    except (OSError, ValueError) as exc:
+        raise SystemExit("no readable campaign status at %s (%s)"
+                         % (path, exc))
+    print(render_top(status))
+    return 0 if status.get("state") in ("running", "done") else 1
+
+
+def cmd_fleet_spec(args):
+    import json
+
+    from repro.harness.sweeps import build_sweep
+    data = build_sweep(args.name, scale=args.scale, instrs=args.instrs,
+                       limit=args.limit, seeds=args.seeds)
+    text = json.dumps(data, indent=2, sort_keys=True)
+    if args.out:
+        with open(args.out, "w") as fh:
+            fh.write(text + "\n")
+        print("sweep spec written to %s (run with: repro fleet run %s "
+              "--dir <campaign-dir>)" % (args.out, args.out))
+    else:
+        print(text)
+    return 0
+
+
 def build_parser():
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -467,6 +622,10 @@ def build_parser():
                        help="footprint scale factor")
         p.add_argument("--instrs", type=int, default=100_000)
         p.add_argument("--threads", type=int, default=None)
+        p.add_argument("--seed-offset", type=int, default=0,
+                       metavar="N",
+                       help="offset the workload's RNG seeds (the "
+                            "statistical axis for sweeps; default 0)")
 
     run = sub.add_parser("run", help="simulate a workload")
     add_common(run)
@@ -597,8 +756,11 @@ def build_parser():
     diff.set_defaults(func=cmd_diff)
 
     rep = sub.add_parser(
-        "report", help="render a flight-recorder post-mortem capsule")
-    rep.add_argument("capsule", help="postmortem-*.json path")
+        "report", help="render flight-recorder post-mortem capsules")
+    rep.add_argument("capsule", nargs="+",
+                     help="postmortem-*.json path(s), or directories "
+                          "to scan for capsules; unreadable capsules "
+                          "are skipped with a warning")
     rep.add_argument("--last-seconds", type=float, default=None,
                      metavar="S",
                      help="only show events from the final S seconds")
@@ -615,6 +777,87 @@ def build_parser():
     top.add_argument("--once", action="store_true",
                      help="print one frame and exit")
     top.set_defaults(func=cmd_top)
+
+    fleet = sub.add_parser(
+        "fleet", help="crash-tolerant experiment campaigns "
+                      "(durable journal, retries, quarantine)")
+    fsub = fleet.add_subparsers(dest="fleet_command", required=True)
+
+    def add_fleet_knobs(p):
+        p.add_argument("--workers", type=int, default=2, metavar="N",
+                       help="concurrent jobs (default 2)")
+        p.add_argument("--quarantine-after", type=int, default=3,
+                       metavar="K",
+                       help="park a job after K consecutive attempts "
+                            "without checkpoint progress (default 3)")
+        p.add_argument("--job-timeout", type=float, default=None,
+                       metavar="SECONDS",
+                       help="per-attempt wall budget: SIGTERM (the "
+                            "run checkpoints and exits %d), then "
+                            "SIGKILL after --term-grace"
+                            % EXIT_WALL_BUDGET)
+        p.add_argument("--term-grace", type=float, default=10.0,
+                       metavar="SECONDS",
+                       help="grace between SIGTERM and SIGKILL "
+                            "(default 10)")
+        p.add_argument("--backoff-base", type=float, default=0.5,
+                       metavar="SECONDS",
+                       help="retry backoff base; decorrelated jitter "
+                            "in [base, 8*base] (default 0.5)")
+        p.add_argument("--checkpoint-every", type=int, default=2,
+                       metavar="N",
+                       help="per-job checkpoint stride in intervals "
+                            "(default 2)")
+        p.add_argument("--status-port", type=int, default=None,
+                       metavar="PORT",
+                       help="serve campaign status on 127.0.0.1:PORT "
+                            "(0 picks an ephemeral port)")
+        p.add_argument("--rotate-bytes", type=int, default=None,
+                       metavar="BYTES",
+                       help="compact the journal past this size")
+        p.add_argument("--seed", type=int, default=0,
+                       help="campaign seed for the backoff jitter")
+        p.add_argument("--log-level", default=None,
+                       choices=("debug", "info", "warning", "error"),
+                       help="enable structured logging at this level")
+
+    frun = fsub.add_parser(
+        "run", help="execute a sweep spec JSON as a fresh campaign")
+    frun.add_argument("spec", help="sweep spec JSON (see `repro fleet "
+                                   "spec` for canned ones)")
+    frun.add_argument("--dir", required=True, metavar="DIR",
+                      help="campaign directory (journal, status, "
+                           "per-job checkpoints and stats)")
+    add_fleet_knobs(frun)
+    frun.set_defaults(func=cmd_fleet_run)
+
+    fres = fsub.add_parser(
+        "resume", help="resume a killed or drained campaign: replay "
+                       "the journal, re-run only incomplete jobs")
+    fres.add_argument("dir", help="campaign directory")
+    fres.add_argument("--retry-quarantined", action="store_true",
+                      help="unpark quarantined jobs and retry them")
+    add_fleet_knobs(fres)
+    fres.set_defaults(func=cmd_fleet_resume)
+
+    fstat = fsub.add_parser(
+        "status", help="print a campaign's status snapshot once")
+    fstat.add_argument("dir", help="campaign directory")
+    fstat.set_defaults(func=cmd_fleet_status)
+
+    fspec = fsub.add_parser(
+        "spec", help="emit a canned paper-figure sweep spec")
+    fspec.add_argument("name",
+                       choices=("fig5", "fig6-stream", "mt-validation"))
+    fspec.add_argument("--out", default=None, metavar="PATH",
+                       help="write the spec JSON here (default: stdout)")
+    fspec.add_argument("--scale", type=float, default=1 / 32)
+    fspec.add_argument("--instrs", type=int, default=25_000)
+    fspec.add_argument("--limit", type=int, default=0,
+                       help="restrict to the first N workloads")
+    fspec.add_argument("--seeds", type=int, default=1, metavar="N",
+                       help="seed-offset axis size (default 1)")
+    fspec.set_defaults(func=cmd_fleet_spec)
     return parser
 
 

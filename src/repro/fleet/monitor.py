@@ -1,0 +1,146 @@
+"""Fleet-level observability, riding the single-run monitor machinery.
+
+The campaign's status file uses the same transport as a run's
+(:func:`repro.obs.monitor.write_status_json`: atomic temp-and-replace,
+never a torn read), the same HTTP exposition
+(:class:`repro.obs.monitor.StatusServer` duck-types on ``.status``),
+and the same renderers — ``repro top`` and :func:`prometheus_text`
+branch on ``"kind": "fleet"``.
+
+Fleet status schema (``version`` 1)::
+
+    {
+      "version": 1, "kind": "fleet", "run_id": "…", "pid": 1234,
+      "campaign": "fig5-small", "state": "running",
+      "workers": 4, "jobs_total": 25,
+      "counts": {"pending": 3, "backoff": 1, "running": 4,
+                 "done": 16, "quarantined": 1},
+      "progress": 0.64, "attempts": 29, "retries": 4,
+      "jobs_per_s": 0.41, "eta_s": 22.0, "elapsed_s": 39.1,
+      "updated_monotonic": 12345.6,
+      "running": {"j003-mcf-ab12cd": {"attempt": 2, "pid": 999,
+                                      "age_s": 3.2}},
+      "quarantined": ["j007-gcc-ef3456"],
+      "jobs": {"j000-…": {"state": "done", "attempts": 1, "exit": 0}}
+    }
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from collections import deque
+
+from repro.obs.monitor import (STATUS_VERSION, StatusServer,
+                               prune_status_orphans, write_status_json)
+
+#: Sliding window (samples) for the job completion rate.
+RATE_WINDOW = 64
+
+
+class FleetMonitor:
+    """Aggregated, atomically-rewritten campaign status."""
+
+    def __init__(self, path, port=None, campaign=None, run_id=None):
+        self.path = path
+        self.campaign = campaign
+        self.run_id = run_id or os.urandom(4).hex()
+        self.state = "running"
+        #: The latest snapshot dict (what the file/server publish).
+        self.status = {}
+        self._start = time.monotonic()
+        self._samples = deque(maxlen=RATE_WINDOW)
+        self._server = None
+        if path:
+            prune_status_orphans(path)
+        if port is not None:
+            self._server = StatusServer(self, port)
+
+    @property
+    def port(self):
+        return self._server.port if self._server is not None else None
+
+    def update(self, jobs, workers, now=None):
+        """Publish one snapshot.  ``jobs`` is the orchestrator's
+        ``{job_id: JobState}`` map; ``workers`` its slot count."""
+        if now is None:
+            now = time.monotonic()
+        counts = {"pending": 0, "backoff": 0, "running": 0, "done": 0,
+                  "quarantined": 0}
+        running = {}
+        quarantined = []
+        job_rows = {}
+        attempts = 0
+        for job_id in sorted(jobs):
+            st = jobs[job_id]
+            state = st.state
+            if state == "pending" and st.backoff_until > now:
+                state = "backoff"
+            counts[state] = counts.get(state, 0) + 1
+            attempts += st.attempts
+            if state == "running":
+                running[job_id] = {
+                    "attempt": st.attempts,
+                    "pid": st.proc.pid if st.proc is not None else None,
+                    "age_s": round(now - (st.started_at or now), 3),
+                }
+            elif state == "quarantined":
+                quarantined.append(job_id)
+            job_rows[job_id] = {"state": state,
+                                "attempts": st.attempts,
+                                "exit": st.last_exit}
+        total = len(jobs)
+        done = counts["done"]
+        self._samples.append((now, done))
+        rate = self._rate()
+        eta = None
+        remaining = total - done - counts["quarantined"]
+        if rate and remaining >= 0:
+            eta = remaining / rate
+        self.status = {
+            "version": STATUS_VERSION,
+            "kind": "fleet",
+            "run_id": self.run_id,
+            "pid": os.getpid(),
+            "campaign": self.campaign,
+            "state": self.state,
+            "workers": workers,
+            "jobs_total": total,
+            "counts": counts,
+            "progress": done / total if total else None,
+            "attempts": attempts,
+            "retries": sum(max(0, st.attempts - 1)
+                           for st in jobs.values()),
+            "jobs_per_s": rate,
+            "eta_s": eta,
+            "elapsed_s": now - self._start,
+            "updated_monotonic": now,
+            "running": running,
+            "quarantined": quarantined,
+            "jobs": job_rows,
+        }
+        self._write()
+
+    def _rate(self):
+        if len(self._samples) < 2:
+            return None
+        t0, d0 = self._samples[0]
+        t1, d1 = self._samples[-1]
+        if t1 <= t0 or d1 <= d0:
+            return None
+        return (d1 - d0) / (t1 - t0)
+
+    def finish(self, jobs, workers, state):
+        """Publish the terminal state and stop the server."""
+        self.state = state
+        self.update(jobs, workers)
+        self.close()
+
+    def close(self):
+        server, self._server = self._server, None
+        if server is not None:
+            server.stop()
+
+    def _write(self):
+        if self.path:
+            write_status_json(self.path, self.status)

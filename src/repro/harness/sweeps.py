@@ -1,0 +1,86 @@
+"""Canned sweep specs: the paper's figures as fleet campaigns.
+
+Each builder returns the plain-dict sweep spec (see
+:mod:`repro.fleet.spec`) for one of the validation figures, so the
+crash-tolerant path to a figure is::
+
+    repro fleet spec fig5 --out fig5.json
+    repro fleet run fig5.json --dir campaigns/fig5
+    # ... SIGKILL the box mid-campaign ...
+    repro fleet resume campaigns/fig5
+
+Every job lands its stats tree in the campaign directory; the figure is
+then assembled from those trees offline — no state lives only in the
+orchestrator process.  The ``seeds`` axis varies ``--seed-offset`` (the
+workload RNG offset), turning any figure into a statistical sweep.
+"""
+
+from __future__ import annotations
+
+from repro.workloads import MULTITHREADED, SPEC_CPU2006
+
+#: Canned sweep names, in the order `repro fleet spec` advertises them.
+SWEEP_NAMES = ("fig5", "fig6-stream", "mt-validation")
+
+
+def _seed_axis(seeds):
+    return list(range(max(1, int(seeds))))
+
+
+def fig5_sweep(scale=1 / 32, instrs=25_000, limit=0, seeds=1):
+    """Figure 5: every SPEC-like workload on the 1-core Westmere."""
+    names = list(SPEC_CPU2006[:limit] if limit else SPEC_CPU2006)
+    return {
+        "name": "fig5",
+        "defaults": {"config": "westmere", "cores": 1, "scale": scale,
+                     "instrs": instrs, "contention": "weave"},
+        "grid": {"workload": names, "seed": _seed_axis(seeds)},
+    }
+
+
+def fig6_stream_sweep(scale=1 / 32, instrs=25_000, limit=0, seeds=1):
+    """Figure 6 (right): STREAM across thread counts and contention
+    models on the OOO Westmere."""
+    threads = (1, 2, 4, 6)
+    if limit:
+        threads = threads[:limit]
+    return {
+        "name": "fig6-stream",
+        "defaults": {"config": "westmere", "core_model": "ooo",
+                     "workload": "stream", "scale": scale,
+                     "instrs": instrs},
+        "grid": {"threads": list(threads),
+                 "contention": ["none", "md1", "weave"],
+                 "seed": _seed_axis(seeds)},
+    }
+
+
+def mt_validation_sweep(scale=1 / 32, instrs=25_000, limit=0, seeds=1):
+    """Figure 6 (left): the multithreaded suites on the 6-core
+    Westmere."""
+    names = [n for n in MULTITHREADED if n != "stream"]
+    if limit:
+        names = names[:limit]
+    return {
+        "name": "mt-validation",
+        "defaults": {"config": "westmere", "cores": 6, "scale": scale,
+                     "instrs": instrs, "contention": "weave"},
+        "grid": {"workload": names, "seed": _seed_axis(seeds)},
+    }
+
+
+_BUILDERS = {
+    "fig5": fig5_sweep,
+    "fig6-stream": fig6_stream_sweep,
+    "mt-validation": mt_validation_sweep,
+}
+
+
+def build_sweep(name, scale=1 / 32, instrs=25_000, limit=0, seeds=1):
+    """Build the named canned sweep spec dict."""
+    try:
+        builder = _BUILDERS[name]
+    except KeyError:
+        raise ValueError("unknown sweep %r (have: %s)"
+                         % (name, ", ".join(SWEEP_NAMES)))
+    return builder(scale=scale, instrs=instrs, limit=limit, seeds=seeds)

@@ -10,10 +10,13 @@ in-memory snapshot, and the checkpointer persists barrier snapshots so
 a killed run resumes to an identical stats tree.
 """
 
+from repro.resilience.backoff import DEFAULT_CAP, DecorrelatedJitter
 from repro.resilience.checkpoint import (Checkpointer, capture_state,
-                                         discard, latest, read_checkpoint,
-                                         restore, snapshot,
-                                         write_checkpoint, FORMAT_VERSION)
+                                         checkpoints, discard, latest,
+                                         read_checkpoint,
+                                         read_latest_checkpoint, restore,
+                                         snapshot, write_checkpoint,
+                                         FORMAT_VERSION)
 from repro.resilience.faults import (CorruptEvent, DelayJob, Fault,
                                      FaultPlan, KillWorker,
                                      ProcessSignalFault, RaiseInJob,
@@ -22,9 +25,10 @@ from repro.resilience.faults import (CorruptEvent, DelayJob, Fault,
 from repro.resilience.supervisor import Supervisor
 
 __all__ = [
-    "Checkpointer", "CorruptEvent", "DelayJob", "Fault", "FaultPlan",
-    "FORMAT_VERSION", "KillWorker", "ProcessSignalFault", "RaiseInJob",
-    "SigKillWorker", "SigStopWorker", "StallWorker", "Supervisor",
-    "capture_state", "discard", "latest", "read_checkpoint", "restore",
-    "snapshot", "write_checkpoint",
+    "Checkpointer", "CorruptEvent", "DEFAULT_CAP", "DecorrelatedJitter",
+    "DelayJob", "Fault", "FaultPlan", "FORMAT_VERSION", "KillWorker",
+    "ProcessSignalFault", "RaiseInJob", "SigKillWorker", "SigStopWorker",
+    "StallWorker", "Supervisor", "capture_state", "checkpoints",
+    "discard", "latest", "read_checkpoint", "read_latest_checkpoint",
+    "restore", "snapshot", "write_checkpoint",
 ]

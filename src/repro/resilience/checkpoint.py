@@ -195,21 +195,67 @@ def _parse_interval(name):
         return None
 
 
-def latest(directory):
-    """Path of the highest-interval checkpoint in ``directory``, or
-    None when there is none."""
-    best = None
-    best_interval = -1
+def checkpoints(directory):
+    """Every checkpoint-named file in ``directory`` as ``(interval,
+    path)`` pairs, newest interval first (ties broken by name so the
+    order is stable across runs)."""
     try:
         names = os.listdir(directory)
     except OSError:
-        return None
+        return []
+    found = []
     for name in names:
         interval = _parse_interval(name)
-        if interval is not None and interval > best_interval:
-            best_interval = interval
-            best = os.path.join(directory, name)
-    return best
+        if interval is not None:
+            found.append((interval, os.path.join(directory, name)))
+    found.sort(key=lambda pair: (-pair[0], pair[1]))
+    return found
+
+
+def latest(directory):
+    """Path of the highest-interval checkpoint in ``directory``, or
+    None when there is none."""
+    found = checkpoints(directory)
+    return found[0][1] if found else None
+
+
+def read_latest_checkpoint(directory, flight=None):
+    """Read the newest *valid* checkpoint in ``directory``.
+
+    A capsule that fails verification (truncated by a dying disk, CRC
+    mismatch, version skew, vanished between listing and open) is
+    skipped with a warning — and a ``checkpoint_fallback`` flight-ring
+    event when a recorder is passed — and the next-newest capsule is
+    tried instead.  Only when *no* capsule is readable does
+    :class:`~repro.errors.CheckpointError` propagate: losing the last
+    few intervals beats losing the whole run.
+
+    Returns ``(path, capsule)``.
+    """
+    candidates = checkpoints(directory)
+    if not candidates:
+        raise CheckpointError("no checkpoints in %s" % (directory,))
+    last_error = None
+    for index, (interval, path) in enumerate(candidates):
+        try:
+            capsule = read_checkpoint(path)
+        except (CheckpointError, OSError) as exc:
+            last_error = exc
+            _log.warning("skipping unreadable checkpoint %s: %s",
+                         path, exc)
+            if flight is not None:
+                flight.record("checkpoint_fallback", path=path,
+                              interval=interval, error=str(exc))
+            continue
+        if index:
+            _log.warning("fell back to %s (interval %d): %d newer "
+                         "checkpoint(s) failed verification",
+                         path, interval, index)
+        return path, capsule
+    raise CheckpointError(
+        "no valid checkpoint in %s: all %d candidate(s) failed "
+        "verification (last: %s)"
+        % (directory, len(candidates), last_error))
 
 
 class Checkpointer:
@@ -232,9 +278,29 @@ class Checkpointer:
         self.saved = 0
         self.last_path = None
         os.makedirs(directory, exist_ok=True)
+        self._prune_orphans()
 
     def _prefix(self):
         return "ckpt-%s-" % self.run_id
+
+    def _prune_orphans(self):
+        """Remove stale ``*.tmp`` files a SIGKILL mid-write left behind
+        by an earlier attempt of this same run id (fleet retries reuse
+        the job id as the run id).  Own-prefix only: in a shared
+        checkpoint directory, other runs' in-flight temp files must
+        stay untouched."""
+        prefix = self._prefix()
+        try:
+            names = os.listdir(self.directory)
+        except OSError:
+            return
+        for name in names:
+            if name.startswith(prefix) and name.endswith(".tmp"):
+                try:
+                    os.unlink(os.path.join(self.directory, name))
+                    _log.info("pruned orphaned checkpoint temp %s", name)
+                except OSError:
+                    pass
 
     def maybe_save(self, sim, interval, limit):
         """Save when ``interval`` lands on the stride; returns the path

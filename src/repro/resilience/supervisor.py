@@ -42,11 +42,11 @@ propagate untouched.
 
 from __future__ import annotations
 
-import random
 import time
 
 from repro.errors import ExecutionFault
 from repro.obs.log import get_logger
+from repro.resilience.backoff import DecorrelatedJitter
 from repro.resilience.checkpoint import discard, restore, snapshot
 
 _log = get_logger("resilience.supervisor")
@@ -55,9 +55,6 @@ _log = get_logger("resilience.supervisor")
 #: floor (the reference backend cannot execution-fault).
 _LADDER = {"process": "parallel", "parallel": "serial",
            "pipelined": "serial"}
-
-#: Jitter cap: a backoff draw never exceeds this multiple of the base.
-_BACKOFF_CAP = 8
 
 
 class Supervisor:
@@ -73,12 +70,12 @@ class Supervisor:
         self.backoff_intervals = max(0, int(backoff_intervals))
         if seed is None:
             seed = getattr(sim.config.boundweave, "seed", 0)
-        self._rng = random.Random(seed)
+        self._jitter = DecorrelatedJitter(self.backoff_intervals,
+                                          seed=seed)
         self._serial = SerialBackend()
         self._serial.start(sim)
         self._consecutive = 0
         self._backoff_left = 0
-        self._prev_backoff = 0
         self.recoveries = 0
         self.fallback_permanent = False
         self.last_backoff_intervals = 0
@@ -109,7 +106,7 @@ class Supervisor:
         except ExecutionFault as fault:
             return self._recover(fault, payload, limit)
         self._consecutive = 0
-        self._prev_backoff = 0
+        self._jitter.reset()
         discard(sim)
         return outcome
 
@@ -119,15 +116,10 @@ class Supervisor:
         """Decorrelated-jitter backoff draw (in intervals): uniform in
         ``[base, min(3 * previous, cap * base)]``.  Consecutive faults
         stretch the window geometrically; a success (or a demotion)
-        resets it."""
-        base = self.backoff_intervals
-        if base <= 0:
-            return 0
-        prev = self._prev_backoff or base
-        hi = max(base, min(prev * 3, base * _BACKOFF_CAP))
-        draw = self._rng.randint(base, hi)
-        self._prev_backoff = draw
-        return draw
+        resets it.  (The draw sequence lives in
+        :class:`repro.resilience.backoff.DecorrelatedJitter`, shared
+        with the fleet orchestrator's retry pacing.)"""
+        return self._jitter.next()
 
     def _recover(self, fault, payload, limit):
         sim = self.sim
@@ -226,7 +218,7 @@ class Supervisor:
         sim.host_model.backend_name = new.name
         # The new rung gets a fresh fault budget and jitter sequence.
         self._consecutive = 0
-        self._prev_backoff = 0
+        self._jitter.reset()
 
     def _note_telemetry(self, entry):
         telem = self.sim._telem
