@@ -112,6 +112,66 @@ def run_16core(target_instrs, repeats):
     }]
 
 
+def run_fingerprint(target_instrs, repeats):
+    """Fingerprint-chain overhead column: the pinned 16-core scenario
+    with the integrity sentinel absent vs fingerprint-only (audit
+    stride 0 — chain every barrier, never audit), best of ``repeats``
+    each.
+
+    The on/off MIPS columns are wall-clock and therefore noisy on
+    shared runners (the scenario runs ~0.1s; host jitter alone swings
+    it past any few-percent gate).  The *asserted* number is measured
+    deterministically instead: the cheap per-barrier digest is timed
+    directly on the run's final (largest) state, multiplied by the
+    barrier count, and taken as a fraction of the fastest baseline
+    wall time.  ``--assert-fingerprint-overhead`` gates that budget."""
+    from repro.resilience.integrity import (IntegritySentinel,
+                                            fingerprint_components)
+
+    config = tiled_chip(num_tiles=1, cores_per_tile=16)
+
+    def one_run(with_sentinel):
+        workload = mt_workload("blackscholes", scale=1 / 32,
+                               num_threads=16)
+        threads = workload.make_threads(target_instrs=target_instrs,
+                                        num_threads=16)
+        sim = ZSim(config, threads=threads, contention_model="weave",
+                   flight=False)
+        if with_sentinel:
+            sim.integrity = IntegritySentinel(audit_every=0)
+        return sim.run(), sim
+
+    def best_of(with_sentinel):
+        best = sim = None
+        for _ in range(repeats):
+            result, ran = one_run(with_sentinel)
+            if best is None or result.mips > best.mips:
+                best, sim = result, ran
+        return best, sim
+
+    one_run(False)  # warm-up: don't charge cold caches to either column
+    off, _ = best_of(False)
+    on, on_sim = best_of(True)
+    # Deterministic per-barrier cost: time the digest the sentinel runs
+    # at every barrier, on the final state (the largest it ever covers).
+    probes = 50
+    start = time.perf_counter()
+    for _ in range(probes):
+        fingerprint_components(on_sim)
+    per_barrier = (time.perf_counter() - start) / probes
+    barriers = on_sim.bound.intervals
+    overhead = 100.0 * (per_barrier * barriers) / off.wall_seconds
+    return {
+        "scenario": "16core/blackscholes",
+        "instrs": on.instrs,
+        "barriers": barriers,
+        "mips_off": off.mips,
+        "mips_on": on.mips,
+        "fingerprint_ms": per_barrier * 1e3,
+        "overhead_pct": overhead,
+    }
+
+
 def main(argv=None):
     parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
     parser.add_argument("--label", default="run",
@@ -120,7 +180,8 @@ def main(argv=None):
     parser.add_argument("--json", default=None, metavar="PATH",
                         help="output path (default: benchmarks/results/"
                              "bench_hotpath_<label>.json)")
-    parser.add_argument("--scenario", choices=("single", "16core", "all"),
+    parser.add_argument("--scenario",
+                        choices=("single", "16core", "fingerprint", "all"),
                         default="all")
     parser.add_argument("--instrs", type=int, default=60_000,
                         help="single-thread instruction target "
@@ -131,15 +192,24 @@ def main(argv=None):
                         metavar="FLOOR",
                         help="exit 1 unless hmean single-thread MIPS "
                              ">= FLOOR (CI perf-smoke gate)")
+    parser.add_argument("--assert-fingerprint-overhead", type=float,
+                        default=None, metavar="PCT",
+                        help="exit 1 if the fingerprint chain costs "
+                             "more than PCT%% MIPS on the 16-core "
+                             "scenario (integrity-sentinel budget)")
     args = parser.parse_args(argv)
 
     runs = []
+    fingerprint = None
     start = time.perf_counter()
     if args.scenario in ("single", "all"):
         runs.extend(run_single(args.instrs, args.repeats))
     if args.scenario in ("16core", "all"):
         runs.extend(run_16core(max(2_000, args.instrs // 4),
                                args.repeats))
+    if args.scenario in ("fingerprint", "all"):
+        fingerprint = run_fingerprint(max(2_000, args.instrs // 4),
+                                      args.repeats)
     elapsed = time.perf_counter() - start
 
     single = [r["mips"] for r in runs if r["name"].startswith("single/")]
@@ -153,9 +223,12 @@ def main(argv=None):
         "repeats": args.repeats,
         "wall_seconds_total": elapsed,
         "runs": runs,
+        "fingerprint": fingerprint,
         "summary": {
             "single_thread_hmean_mips": hmean(single) if single else None,
             "multicore_mips": multi[0] if multi else None,
+            "fingerprint_overhead_pct": (fingerprint["overhead_pct"]
+                                         if fingerprint else None),
         },
     }
 
@@ -176,6 +249,10 @@ def main(argv=None):
             "single_thread_hmean_mips"])
     if multi:
         print("16-core end-to-end  : %.4f MIPS" % multi[0])
+    if fingerprint:
+        print("fingerprint off/on  : %.4f / %.4f MIPS  (overhead %+.2f%%)"
+              % (fingerprint["mips_off"], fingerprint["mips_on"],
+                 fingerprint["overhead_pct"]))
     print("json written to %s" % out)
 
     if args.assert_mips is not None:
@@ -186,6 +263,15 @@ def main(argv=None):
             return 1
         print("perf-smoke floor OK (%.4f >= %.4f)"
               % (got, args.assert_mips))
+    if args.assert_fingerprint_overhead is not None and fingerprint:
+        got = fingerprint["overhead_pct"]
+        if got > args.assert_fingerprint_overhead:
+            print("FAIL: fingerprint overhead %+.2f%% above budget %.2f%%"
+                  % (got, args.assert_fingerprint_overhead),
+                  file=sys.stderr)
+            return 1
+        print("fingerprint budget OK (%+.2f%% <= %.2f%%)"
+              % (got, args.assert_fingerprint_overhead))
     return 0
 
 

@@ -11,6 +11,10 @@ Subcommands:
   (the benchmarks drive the same harness under pytest).
 * ``diff`` — structurally compare two stats-JSON trees (the
   equivalence oracle; exit 0 identical/within tolerance, 1 divergent).
+* ``verify`` — certify a checkpoint directory's integrity fingerprint
+  chain: re-derive every capsule's deep state digests, then serially
+  re-execute sampled checkpoint-to-checkpoint spans and compare chains
+  (exit 0 certified, 1 tampered/corrupt).
 * ``report`` — render flight-recorder post-mortem capsules as
   human-readable timelines (paths or directories; corrupt capsules are
   skipped with a warning).
@@ -132,7 +136,10 @@ def _resume_sim(args, meta, threads, telemetry, flight=None):
             capsule = read_checkpoint(path)
     except CheckpointError as exc:
         raise SystemExit(str(exc))
-    saved_meta = capsule.get("meta") or {}
+    # The integrity record is capsule-internal (deep digests checked by
+    # ZSim.resume), not part of the run identity the flags must match.
+    saved_meta = dict(capsule.get("meta") or {})
+    saved_meta.pop("integrity", None)
     if saved_meta and saved_meta != meta:
         diffs = ["%s: checkpoint=%r, flags=%r" % (k, saved_meta.get(k),
                                                   meta.get(k))
@@ -142,8 +149,14 @@ def _resume_sim(args, meta, threads, telemetry, flight=None):
             "checkpoint %s was written by a different run (%s); resume "
             "needs the original workload flags" % (path, "; ".join(diffs)))
     print("resuming from %s (interval %d)" % (path, capsule["interval"]))
-    return ZSim.resume(capsule, threads, backend=args.backend,
-                       telemetry=telemetry, flight=flight)
+    from repro.errors import IntegrityError
+    try:
+        return ZSim.resume(capsule, threads, backend=args.backend,
+                           telemetry=telemetry, flight=flight)
+    except IntegrityError as exc:
+        raise SystemExit(
+            "refusing to resume from %s: %s (certify the directory "
+            "with `repro verify`)" % (path, exc))
 
 
 def _setup_resilience(args, sim, meta):
@@ -249,6 +262,9 @@ def cmd_run(args):
         from repro.obs import configure_logging
         configure_logging(args.log_level)
     config = _resolve_config(args)
+    if args.audit_every is not None:
+        config.boundweave.audit_every = args.audit_every
+        config.validate()
     workload = _resolve_workload(args.workload, args.scale, args.threads)
     threads = workload.make_threads(
         target_instrs=args.instrs,
@@ -264,6 +280,16 @@ def cmd_run(args):
                    contention_model=args.contention,
                    telemetry=telemetry, backend=args.backend,
                    flight=flight)
+    if args.audit_every is not None:
+        # Resumed capsules predating the sentinel (or written with
+        # auditing off) can still opt in; a fresh sim already has one.
+        sentinel = getattr(sim, "integrity", None)
+        if sentinel is None:
+            from repro.resilience import IntegritySentinel
+            sim.integrity = IntegritySentinel(
+                audit_every=args.audit_every)
+        else:
+            sentinel.audit_every = args.audit_every
     _setup_resilience(args, sim, meta)
     _setup_monitor(args, sim)
     profiler = None
@@ -309,6 +335,15 @@ def cmd_run(args):
                  if summary["fallback_permanent"] else ""))
         if summary.get("demotions"):
             print("  degradation ladder: %s" % summary["demotion_path"])
+        if summary.get("integrity_rollbacks"):
+            print("  integrity rollbacks: %d (silent corruption caught "
+                  "and replayed from a verified barrier)"
+                  % summary["integrity_rollbacks"])
+    if sim.integrity is not None:
+        s = sim.integrity.summary()
+        print("  integrity: chain %08x over %d barrier(s), %d audit(s), "
+              "%d violation(s)" % (s["chain"], s["fingerprints"],
+                                   s["audits"], s["violations"]))
     print("  instrs  : %d" % result.instrs)
     print("  cycles  : %d" % result.cycles)
     print("  IPC     : %.3f" % result.ipc)
@@ -422,6 +457,90 @@ def cmd_diff(args):
                         ignore=args.ignore)
     print(result.render(max_report=args.max_report))
     return 0 if result.equivalent else 1
+
+
+def _replay_span(capsule, interval_a, interval_b):
+    """Serially re-execute intervals (a, b] from capsule_a and return
+    the sentinel's chain at b, or None when the capsule lacks the run
+    meta needed to rebuild its workload."""
+    meta = capsule.get("meta") or {}
+    if any(meta.get(key) is None
+           for key in ("workload", "scale", "instrs", "threads")):
+        print("note: capsule at interval %d lacks run meta; span "
+              "replay skipped" % interval_a)
+        return None
+    workload = _resolve_workload(meta["workload"], meta["scale"],
+                                 meta["threads"])
+    threads = workload.make_threads(target_instrs=meta["instrs"],
+                                    num_threads=meta["threads"],
+                                    seed_offset=meta.get("seed", 0))
+    sim = ZSim.resume(capsule, threads, backend="serial", flight=False)
+    sim.run(max_intervals=interval_b)
+    sentinel = sim.integrity
+    return sentinel.chain if sentinel is not None else None
+
+
+def cmd_verify(args):
+    from repro.errors import CheckpointError, IntegrityError
+    from repro.resilience import read_checkpoint
+    from repro.resilience.checkpoint import checkpoints
+    from repro.resilience.integrity import verify_state
+
+    if os.path.isdir(args.path):
+        paths = [path for _interval, path in sorted(checkpoints(args.path))]
+        if not paths:
+            raise SystemExit("no checkpoints under %s" % args.path)
+    else:
+        paths = [args.path]
+    failures = 0
+    verified = []
+    for path in paths:
+        try:
+            capsule = read_checkpoint(path)
+        except (CheckpointError, OSError) as exc:
+            print("FAIL %s: unreadable capsule: %s" % (path, exc))
+            failures += 1
+            continue
+        record = (capsule.get("meta") or {}).get("integrity")
+        if not record:
+            print("FAIL %s: no integrity record (checkpoint written "
+                  "without the sentinel; rerun with --audit-every)"
+                  % path)
+            failures += 1
+            continue
+        try:
+            verify_state(capsule["sim"], record, context="verify")
+        except IntegrityError as exc:
+            print("FAIL %s: %s" % (path, exc))
+            failures += 1
+            continue
+        print("ok   %s (interval %d, chain %08x)"
+              % (path, capsule["interval"], record["chain"]))
+        verified.append((capsule["interval"], capsule, record))
+    replayed = 0
+    if args.replay and len(verified) >= 2:
+        spans = list(zip(verified, verified[1:]))[-args.replay:]
+        for (a, capsule_a, _rec_a), (b, _capsule_b, rec_b) in spans:
+            try:
+                chain = _replay_span(capsule_a, a, b)
+            except Exception as exc:  # tampered pickles crash replay
+                print("FAIL replay %d..%d: %s" % (a, b, exc))
+                failures += 1
+                continue
+            if chain is None:
+                continue
+            replayed += 1
+            if chain != rec_b["chain"]:
+                print("FAIL replay %d..%d: recomputed chain %08x does "
+                      "not match recorded %08x"
+                      % (a, b, chain, rec_b["chain"]))
+                failures += 1
+            else:
+                print("ok   replay %d..%d: chain matches (%08x)"
+                      % (a, b, chain))
+    print("verified %d/%d capsule(s), replayed %d span(s), %d "
+          "failure(s)" % (len(verified), len(paths), replayed, failures))
+    return 1 if failures or not verified else 0
 
 
 def _expand_capsule_paths(paths):
@@ -626,6 +745,11 @@ def build_parser():
                        metavar="N",
                        help="offset the workload's RNG seeds (the "
                             "statistical axis for sweeps; default 0)")
+        p.add_argument("--strict-config", action="store_true",
+                       help="alias documenting the default: config "
+                            "loading always rejects unknown keys and "
+                            "wrong-typed values with the full dotted "
+                            "path (there is no lenient mode)")
 
     run = sub.add_parser("run", help="simulate a workload")
     add_common(run)
@@ -696,6 +820,15 @@ def build_parser():
                      help="deterministic fault plan, e.g. "
                           "'kill@3:w0;corrupt@5:d1' (see "
                           "docs/resilience.md); enables supervision")
+    run.add_argument("--audit-every", type=int, default=None,
+                     metavar="N",
+                     help="integrity sentinel: fingerprint-chain every "
+                          "interval barrier and run the invariant "
+                          "auditor every N barriers; under "
+                          "--supervise, violations roll back to the "
+                          "last verified barrier (0 chains without "
+                          "auditing; default: config's "
+                          "boundweave.audit_every, normally off)")
     run.add_argument("--status-file", default=None, metavar="PATH",
                      help="atomically rewrite a JSON status file at "
                           "every interval barrier (watch it with "
@@ -754,6 +887,20 @@ def build_parser():
                       metavar="N",
                       help="cap the number of mismatches printed")
     diff.set_defaults(func=cmd_diff)
+
+    ver = sub.add_parser(
+        "verify", help="certify a checkpoint chain: re-derive each "
+                       "capsule's deep state digests and serially "
+                       "replay sampled spans (exit 0 certified, 1 "
+                       "tampered/corrupt)")
+    ver.add_argument("path", help="checkpoint file, or directory of "
+                                  "checkpoints (verified in interval "
+                                  "order)")
+    ver.add_argument("--replay", type=int, default=1, metavar="N",
+                     help="serially re-execute the last N checkpoint-"
+                          "to-checkpoint spans and compare fingerprint "
+                          "chains (0 disables; default 1)")
+    ver.set_defaults(func=cmd_verify)
 
     rep = sub.add_parser(
         "report", help="render flight-recorder post-mortem capsules")

@@ -1,11 +1,16 @@
 """Config serialization: SystemConfig <-> plain dicts / JSON files.
 
 zsim drives simulations from .cfg files; the equivalent here is a JSON
-document mirroring the dataclass tree.  Unknown keys are rejected (typos
-in config files must fail loudly), nested sections are optional, and
-presets can be used as bases::
+document mirroring the dataclass tree.  Unknown keys are rejected and
+scalar values are type-checked against the dataclass annotations (typos
+and ``"8"``-for-``8`` string slips in config files must fail loudly,
+with the full dotted path in the message), nested sections are
+optional, and presets can be used as bases::
 
     cfg = load_config("chip.json", base=westmere())
+
+All rejections raise :class:`~repro.errors.ConfigError` (a ValueError
+subclass, so pre-existing ``except ValueError`` callers still catch).
 """
 
 from __future__ import annotations
@@ -13,6 +18,7 @@ from __future__ import annotations
 import dataclasses
 import json
 
+from repro.errors import ConfigError
 from repro.config.system import (
     BoundWeaveConfig,
     BranchPredictorConfig,
@@ -49,24 +55,58 @@ def config_to_dict(config):
     return prune(out)
 
 
+# Scalar annotation -> accepted runtime types.  Annotations are strings
+# (system.py uses ``from __future__ import annotations``), so the map is
+# keyed by annotation text.  int is acceptable where float is declared
+# (JSON has one number type); bool is NOT acceptable as int/float even
+# though it subclasses int — ``"inclusive": 1`` and ``"ways": true`` are
+# both config bugs.
+_SCALARS = {
+    "int": (int,),
+    "float": (int, float),
+    "bool": (bool,),
+    "str": (str,),
+}
+
+
+def _check_scalar(path, key, annotation, value):
+    """Type-check one scalar field; raises ConfigError on mismatch."""
+    accepted = _SCALARS.get(annotation)
+    if accepted is None or value is None:
+        return
+    if not isinstance(value, accepted) or (isinstance(value, bool)
+                                           and annotation != "bool"):
+        raise ConfigError(
+            "%s.%s: expected %s, got %s (%r)"
+            % (path, key, annotation, type(value).__name__, value))
+
+
 def _build(cls, data, path):
     if data is None:
         return None
     if not isinstance(data, dict):
-        raise ValueError("Config section %r must be an object, got %r"
-                         % (path, type(data).__name__))
+        raise ConfigError("Config section %r must be an object, got %r"
+                          % (path, type(data).__name__))
     fields = {f.name: f for f in dataclasses.fields(cls)}
     kwargs = {}
     for key, value in data.items():
         if key not in fields:
-            raise ValueError("Unknown config key %r in section %r "
-                             "(valid: %s)"
-                             % (key, path, ", ".join(sorted(fields))))
+            raise ConfigError("Unknown config key %r in section %r "
+                              "(valid: %s)"
+                              % (key, path, ", ".join(sorted(fields))))
         section_cls = _SECTION_TYPES.get(key)
-        if section_cls is not None and isinstance(value, dict):
+        if section_cls is not None:
+            if isinstance(value, section_cls):
+                kwargs[key] = value       # pre-built section instance
+                continue
+            if value is not None and not isinstance(value, dict):
+                raise ConfigError(
+                    "%s.%s: expected an object, got %s (%r)"
+                    % (path, key, type(value).__name__, value))
             kwargs[key] = _build(section_cls, value,
                                  "%s.%s" % (path, key))
         else:
+            _check_scalar(path, key, fields[key].type, value)
             kwargs[key] = value
     return cls(**kwargs)
 

@@ -162,6 +162,11 @@ class BoundWeaveConfig:
     #: message) before the driver kills stragglers and runs their cores
     #: inline.
     heartbeat_budget_s: float = 10.0
+    #: Integrity sentinel: run the online invariant auditor every N
+    #: interval barriers (see repro.resilience.integrity).  0 disables
+    #: auditing; the fingerprint chain itself is maintained whenever a
+    #: sentinel is installed.  CLI: ``--audit-every``.
+    audit_every: int = 0
 
 
 @dataclass
@@ -229,6 +234,8 @@ class SystemConfig:
             raise ConfigError("process_workers must be >= 0 (0 = auto)")
         if self.boundweave.heartbeat_budget_s <= 0:
             raise ConfigError("heartbeat_budget_s must be > 0")
+        if self.boundweave.audit_every < 0:
+            raise ConfigError("audit_every must be >= 0 (0 = off)")
         return self
 
     def core_tile(self, core_id):

@@ -64,6 +64,17 @@ class Domain:
     def __len__(self):
         return len(self._queue)
 
+    def integrity_items(self):
+        """Digest items for the integrity sentinel: clocks, counters,
+        and queued (cycle, seq) pairs — normally none, since the weave
+        phase drains every queue before the barrier."""
+        yield (self.domain_id, self.current_cycle, self.events_executed,
+               self.crossings, self.crossing_requeues, self._seq,
+               len(self._queue))
+        if self._queue:
+            yield tuple(sorted((cycle, seq)
+                               for cycle, seq, _item in self._queue))
+
     def reset_interval_stats(self):
         self.events_executed = 0
         self.crossings = 0

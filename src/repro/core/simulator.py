@@ -98,6 +98,9 @@ class SimulationResult:
         supervisor = getattr(sim, "supervisor", None)
         self.resilience = (supervisor.summary()
                            if supervisor is not None else None)
+        sentinel = getattr(sim, "integrity", None)
+        self.integrity = (sentinel.summary()
+                          if sentinel is not None else None)
         backend = getattr(sim, "backend", None)
         self.host_exec = (backend.host_stats()
                           if backend is not None else {})
@@ -206,6 +209,13 @@ class SimulationResult:
             node = host.child("dbt")
             for key, value in sorted(self.host_dbt.items()):
                 node.set(key, value)
+        if self.integrity:
+            # Sentinel counters live under host/: a recovered run
+            # fingerprints replayed intervals twice, so these may
+            # legitimately differ from a fault-free run's.
+            node = host.child("integrity")
+            for key, value in sorted(self.integrity.items()):
+                node.set(key, value)
         if self.weave_stats is not None:
             weave = root.child("weave")
             weave.set("intervals", self.weave_stats.intervals)
@@ -302,6 +312,16 @@ class ZSim:
         #: Optional live run monitor (repro.obs.monitor.RunMonitor),
         #: installed by the CLI's --status-file/--status-port flags.
         self.monitor = None
+        #: State-integrity sentinel (repro.resilience.integrity):
+        #: fingerprint chain at every barrier plus invariant audits at
+        #: the configured stride.  Part of *simulated* state on purpose
+        #: (it is not in checkpoint._detached): restores rewind the
+        #: chain with the state it fingerprints.  None when
+        #: boundweave.audit_every is 0 (CLI: --audit-every).
+        self.integrity = None
+        if getattr(bw, "audit_every", 0):
+            from repro.resilience.integrity import IntegritySentinel
+            self.integrity = IntegritySentinel(audit_every=bw.audit_every)
         #: Resilience layer hooks (see repro.resilience): a Supervisor
         #: attaches itself here; a Checkpointer/wall budget is installed
         #: by the harness.  All optional; None means unsupervised.
@@ -467,11 +487,22 @@ class ZSim:
         bound_start = time.perf_counter()
         bound_times = self.bound.run_interval(limit, backend=backend)
         bound_end = time.perf_counter()
+        # Silent-corruption seam: core-selector `corrupt` faults damage
+        # architectural state between the phases — undetectable except
+        # by the integrity sentinel (see FaultPlan.scribble).
+        plan = getattr(backend, "fault_plan", None)
+        if plan is not None:
+            plan.scribble(self, self.bound.intervals)
         weave_seconds, domain_events = self._weave_interval(backend)
         self.host_model.record_interval(
             bound_times, domain_events, weave_seconds,
             measured_seconds=(bound_end - bound_start) + weave_seconds)
         self.bound.preempt(limit)
+        # Fingerprint (and, on stride, audit) the barrier state; raises
+        # IntegrityError for the supervisor's rollback-to-verified path.
+        sentinel = self.integrity
+        if sentinel is not None:
+            sentinel.observe(self, self.bound.intervals)
         return bound_start, bound_end, weave_seconds, domain_events
 
     def _check_wall_budget(self, start_wall, intervals_run, limit):
@@ -705,5 +736,14 @@ class ZSim:
         # predate these host-side attributes.
         sim.__dict__.setdefault("_trace_freelist", [])
         sim.__dict__.setdefault("trace_recycles", 0)
+        # Checkpoints written by builds without the integrity sentinel
+        # predate the attribute; with a sentinel aboard, prove the
+        # capsule restored exactly what was saved before running a
+        # single interval on top of it.
+        sim.__dict__.setdefault("integrity", None)
+        record = (capsule.get("meta") or {}).get("integrity")
+        if record and sim.integrity is not None:
+            from repro.resilience.integrity import verify_state
+            verify_state(sim, record, context="resume")
         sim._resume = (capsule["interval"], capsule["limit"])
         return sim

@@ -129,6 +129,17 @@ class Core:
         node.set("loads", self.loads)
         node.set("stores", self.stores)
 
+    def integrity_items(self):
+        """State items folded into the integrity sentinel's per-core
+        digest (see :mod:`repro.resilience.integrity`): the retired-work
+        counters and miss attribution every model shares.  Timing models
+        extend this with their clocks and scoreboards.  Yield only
+        plain data (ints, strings, tuples) — object reprs would leak
+        host addresses into the digest."""
+        yield (self.core_id, self.instrs, self.uops, self.bbls,
+               self.l1i_misses, self.l1d_misses, self.l2_misses,
+               self.l3_misses, self.loads, self.stores)
+
     def mpki(self, level):
         misses = {"l1i": self.l1i_misses, "l1d": self.l1d_misses,
                   "l2": self.l2_misses, "l3": self.l3_misses}[level]

@@ -134,6 +134,23 @@ class OOOCore(Core):
             if getattr(self, attr) < cycle:
                 setattr(self, attr, cycle)
 
+    def integrity_items(self):
+        # Stage clocks, the register scoreboard, LSU ordering state, and
+        # the speculation counters.  The port window and ROB/window
+        # rings are derived timing caches — large and redundant with the
+        # clocks — so they stay out of the digest.
+        yield from super().integrity_items()
+        yield (self._fetch_clock, self._decode_clock, self._issue_clock,
+               self._issue_slots, self._retire_clock, self._retire_slots,
+               self._last_store_cycle, self._last_mem_done,
+               self._fence_cycle, self._mispredict_resume,
+               self._last_fetch_line)
+        yield tuple(self._scoreboard)
+        yield (len(self._store_buffer), len(self._store_order),
+               len(self._load_releases), self.cond_branches,
+               self.mispredicts, self.forwarded_loads,
+               self.wrong_path_fetches, self.lsd_streams)
+
     # ------------------------------------------------------------------
 
     def run_until(self, limit_cycle):

@@ -104,6 +104,10 @@ class SimpleCore(Core):
         self._last_fetch_line = last_line
         return RunOutcome.LIMIT
 
+    def integrity_items(self):
+        yield from super().integrity_items()
+        yield (self._cycle, self._last_fetch_line)
+
     def apply_delay(self, delay):
         if delay < 0:
             raise ValueError("Weave delay must be >= 0, got %d" % delay)

@@ -106,6 +106,33 @@ class HorizonViolation(ExecutionFault):
         self.floor = floor
 
 
+class IntegrityError(ExecutionFault):
+    """The state-integrity sentinel caught silent corruption: an online
+    invariant audit failed (MESI single-writer, inclusion, weave queue
+    discipline, scheduler bookkeeping, slab hygiene) or an interval
+    fingerprint diverged from its recorded chain value.  Recoverable —
+    but unlike other execution faults the damage may predate detection,
+    so the supervisor rewinds to the last *fingerprint-verified*
+    snapshot (not just the current interval) and replays the whole span
+    serially (see repro.resilience.integrity).
+
+    Attributes:
+        component: dotted path of the guilty subsystem
+            (e.g. ``mem.l1d-3`` or ``weave.domain1``).
+        excerpt: short state excerpt pinpointing the violation.
+        fingerprint: observed digest (fingerprint divergences only).
+        expected: recorded digest the observation was checked against.
+    """
+
+    def __init__(self, message, component=None, excerpt=None,
+                 fingerprint=None, expected=None, **ctx):
+        super().__init__(message, **ctx)
+        self.component = component
+        self.excerpt = excerpt
+        self.fingerprint = fingerprint
+        self.expected = expected
+
+
 class ProcessPoolError(ExecutionFault):
     """The process backend's worker pool failed systemically: fork
     itself errored, the whole pool died repeatedly, or a speculation

@@ -38,14 +38,14 @@ import sys
 import time
 import zlib
 
-from repro.errors import FleetError, JobQuarantined
+from repro.errors import CheckpointError, FleetError, JobQuarantined
 from repro.fleet.journal import Journal, read_journal
 from repro.fleet.monitor import FleetMonitor
 from repro.fleet.spec import SweepSpec
 from repro.obs.log import get_logger
 from repro.obs.monitor import write_status_json
 from repro.resilience.backoff import DecorrelatedJitter
-from repro.resilience.checkpoint import checkpoints
+from repro.resilience.checkpoint import checkpoints, read_checkpoint
 
 _log = get_logger("fleet.orchestrator")
 
@@ -179,6 +179,40 @@ class FleetOrchestrator:
             return []
         return [os.path.join(jobdir, n) for n in names
                 if n.startswith("postmortem-") and n.endswith(".json")]
+
+    def _quarantine_reason(self, capsule_paths):
+        """Classify a quarantine from the job's post-mortem capsules:
+        ``"integrity"`` when any capsule names an IntegrityError (the
+        sentinel escalated a reproducing divergence), else
+        ``"failure"``."""
+        for path in capsule_paths:
+            try:
+                with open(path) as fh:
+                    capsule = json.load(fh)
+            except (OSError, ValueError):
+                continue
+            kind = (capsule.get("reason") or {}).get("kind")
+            if kind == "IntegrityError":
+                return "integrity"
+        return "failure"
+
+    def _integrity_record(self, st):
+        """The newest checkpoint's fingerprint-chain record for this
+        job, journal-ready (light read: the capsule's simulator stays
+        pickled).  None when the job ran without the sentinel."""
+        found = checkpoints(self._ckptdir(st))
+        if not found:
+            return None
+        try:
+            capsule = read_checkpoint(found[0][1], load_sim=False)
+        except (CheckpointError, OSError):
+            return None
+        record = (capsule.get("meta") or {}).get("integrity")
+        if not record:
+            return None
+        return {"interval": record.get("interval"),
+                "chain": "%08x" % (record.get("chain", 0),),
+                "audit_every": record.get("audit_every")}
 
     # -- journal replay ------------------------------------------------
 
@@ -364,7 +398,8 @@ class FleetOrchestrator:
             self.journal.append("exit", job=st.job_id,
                                 attempt=st.attempts, exit=0,
                                 outcome="completed", consecutive=0,
-                                duration_s=duration, stats=stats_path)
+                                duration_s=duration, stats=stats_path,
+                                integrity=self._integrity_record(st))
             _log.info("job %s completed (attempt %d, %.1fs)",
                       st.job_id, st.attempts, duration)
             return
@@ -395,12 +430,16 @@ class FleetOrchestrator:
                     exit_code=exit_code, capsules=self._capsules(st))
         except JobQuarantined as parked:
             st.state = "quarantined"
+            reason = self._quarantine_reason(parked.capsules)
             self.journal.append("quarantined", job=st.job_id,
                                 attempt=st.attempts, exit=exit_code,
                                 consecutive=st.consecutive,
-                                capsules=parked.capsules)
-            _log.error("quarantined %s: %s (capsules: %s)", st.job_id,
-                       parked, ", ".join(parked.capsules) or "none")
+                                reason=reason,
+                                capsules=parked.capsules,
+                                integrity=self._integrity_record(st))
+            _log.error("quarantined %s (%s): %s (capsules: %s)",
+                       st.job_id, reason, parked,
+                       ", ".join(parked.capsules) or "none")
             return
         backoff = st.jitter.next()
         st.state = "pending"

@@ -47,6 +47,7 @@ _FLAG_FOR = {
     "backend": "--backend",
     "seed": "--seed-offset",
     "inject_faults": "--inject-faults",
+    "audit_every": "--audit-every",
 }
 
 _SPEC_KEYS = ("name", "defaults", "grid", "jobs")

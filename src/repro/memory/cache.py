@@ -260,6 +260,24 @@ class Cache:
     def sharers_of(self, line):
         return set(self._sharers.get(line, ()))
 
+    def integrity_items(self, deep=False):
+        """Digest items for the integrity sentinel: name, hot counters,
+        directory sizes, and the array summary; ``deep`` adds the full
+        directory contents (children named, never repr'd — object reprs
+        would leak host addresses into the digest)."""
+        yield self.name
+        yield (self.accesses, self.hits, self.misses, self.evictions,
+               self.writebacks, self.invalidations, self.downgrades,
+               self.upgrades, self.prefetch_fills)
+        yield (len(self._sharers), len(self._owner))
+        yield from self.array.integrity_items(deep=deep)
+        if deep:
+            yield tuple(sorted(
+                (line, tuple(sorted(child.name for child in children)))
+                for line, children in self._sharers.items()))
+            yield tuple(sorted((line, owner.name)
+                               for line, owner in self._owner.items()))
+
     def fill_stats(self, node):
         """Dump counters into a :class:`~repro.stats.StatsNode`."""
         node.set("accesses", self.accesses)
@@ -361,6 +379,19 @@ class MainMemory:
             ctrl = self.controller_of(line)
             if ctx is not None:
                 ctx.add_wback(self.ctrl_weaves[ctrl])
+
+    def integrity_items(self, deep=False):
+        """Digest items for the integrity sentinel (same shape as
+        :meth:`Cache.integrity_items`, minus the array)."""
+        yield self.name
+        yield (self.reads, self.writebacks)
+        yield (len(self._sharers), len(self._owner))
+        if deep:
+            yield tuple(sorted(
+                (line, tuple(sorted(child.name for child in children)))
+                for line, children in self._sharers.items()))
+            yield tuple(sorted((line, owner.name)
+                               for line, owner in self._owner.items()))
 
     def fill_stats(self, node):
         node.set("reads", self.reads)

@@ -7,6 +7,8 @@ caches are banked at a level above this (one array per bank).
 
 from __future__ import annotations
 
+import zlib
+
 from repro.memory.coherence import MESI
 from repro.memory.replacement import make_policy
 
@@ -109,6 +111,48 @@ class CacheArray:
         for lines in self._lines:
             for line, (_, state) in lines.items():
                 yield line, state
+
+    def integrity_items(self, deep=False):
+        """Digest items for the integrity sentinel: geometry, occupancy
+        and the free-way vector (cheap, O(sets)); ``deep`` adds the
+        full tag+MESI contents, sorted per set so the digest is stable
+        across pickle round-trips (see repro.resilience.integrity)."""
+        # Occupancy is deliberately NOT summed here: the free-way
+        # vector digest below already encodes per-set occupancy
+        # exactly, and an O(sets) len() walk at every barrier blows
+        # the sentinel's hotpath budget on large L3 arrays.
+        free = self._free
+        yield (self.num_sets, self.ways,
+               zlib.crc32(bytes(free)) & 0xFFFFFFFF
+               if self.ways < 256 else tuple(free))
+        if deep:
+            for idx, lines in enumerate(self._lines):
+                if lines:
+                    yield (idx, tuple(sorted(
+                        (line, way, int(state))
+                        for line, (way, state) in lines.items())))
+
+    def audit_invariants(self, component):
+        """Bookkeeping invariants the sentinel's auditor checks: the
+        free-way count of every set matches its residency, and each
+        resident line's way back-pointer agrees with the way array.
+        Returns ``(component, excerpt)`` violation pairs."""
+        violations = []
+        for idx, lines in enumerate(self._lines):
+            if self._free[idx] != self.ways - len(lines):
+                violations.append(
+                    (component,
+                     "set %d free-way count %d != %d ways - %d resident"
+                     % (idx, self._free[idx], self.ways, len(lines))))
+            ways = self._ways[idx]
+            for line, (way, _state) in lines.items():
+                if ways[way] != line:
+                    violations.append(
+                        (component,
+                         "set %d way %d holds %r but the line map says "
+                         "0x%x" % (idx, way, ways[way], line)))
+                    break
+        return violations
 
     def would_evict(self, line):
         """Line that filling ``line`` would evict right now, or None.

@@ -160,6 +160,12 @@ class FlightRecorder:
                 snap["demotion_path"] = summary.get("demotion_path", "")
         except Exception:
             pass
+        try:
+            sentinel = sim.integrity
+            if sentinel is not None:
+                snap["integrity"] = sentinel.summary()
+        except Exception:
+            pass
         return snap
 
     def _write(self, capsule):
@@ -257,6 +263,14 @@ def render_report(capsule, last_seconds=None, max_events=None):
                             resilience.get("demotions", 0),
                             " — ladder %s" % snap["demotion_path"]
                             if snap.get("demotion_path") else ""))
+        integrity = snap.get("integrity") or {}
+        if integrity:
+            lines.append("  integrity: chain %08x, %s fingerprint(s), "
+                         "%s audit(s), %s violation(s)"
+                         % (int(integrity.get("chain", 0)),
+                            integrity.get("fingerprints", 0),
+                            integrity.get("audits", 0),
+                            integrity.get("violations", 0)))
         exec_stats = snap.get("exec") or {}
         if exec_stats:
             interesting = {k: v for k, v in sorted(exec_stats.items())

@@ -195,6 +195,14 @@ class RunMonitor:
             status["recoveries"] = summary["recoveries"]
             status["demotions"] = summary["demotions"]
             status["demotion_path"] = summary["demotion_path"]
+            status["integrity_rollbacks"] = summary.get(
+                "integrity_rollbacks", 0)
+        sentinel = getattr(sim, "integrity", None)
+        if sentinel is not None:
+            integrity = sentinel.summary()
+            status["integrity_fingerprints"] = integrity["fingerprints"]
+            status["integrity_audits"] = integrity["audits"]
+            status["integrity_violations"] = integrity["violations"]
         return status
 
     def _write(self):
@@ -252,6 +260,14 @@ _GAUGES = (
      "Process-backend speculation hit rate"),
     ("recoveries", "repro_recoveries", "Supervisor fault recoveries"),
     ("demotions", "repro_demotions", "Degradation-ladder demotions"),
+    ("integrity_fingerprints", "repro_integrity_fingerprints",
+     "Interval barriers fingerprinted by the integrity sentinel"),
+    ("integrity_audits", "repro_integrity_audits",
+     "Online invariant audits run by the integrity sentinel"),
+    ("integrity_violations", "repro_integrity_violations",
+     "Integrity violations detected (silent corruption caught)"),
+    ("integrity_rollbacks", "repro_integrity_rollbacks",
+     "Supervisor rollbacks to a fingerprint-verified checkpoint"),
 )
 
 

@@ -22,13 +22,19 @@ from repro.resilience.faults import (CorruptEvent, DelayJob, Fault,
                                      ProcessSignalFault, RaiseInJob,
                                      SigKillWorker, SigStopWorker,
                                      StallWorker)
+from repro.resilience.integrity import (IntegritySentinel,
+                                        audit_invariants,
+                                        fingerprint_components,
+                                        verify_state)
 from repro.resilience.supervisor import Supervisor
 
 __all__ = [
     "Checkpointer", "CorruptEvent", "DEFAULT_CAP", "DecorrelatedJitter",
-    "DelayJob", "Fault", "FaultPlan", "FORMAT_VERSION", "KillWorker",
-    "ProcessSignalFault", "RaiseInJob", "SigKillWorker", "SigStopWorker",
-    "StallWorker", "Supervisor", "capture_state", "checkpoints",
-    "discard", "latest", "read_checkpoint", "read_latest_checkpoint",
-    "restore", "snapshot", "write_checkpoint",
+    "DelayJob", "Fault", "FaultPlan", "FORMAT_VERSION",
+    "IntegritySentinel", "KillWorker", "ProcessSignalFault",
+    "RaiseInJob", "SigKillWorker", "SigStopWorker", "StallWorker",
+    "Supervisor", "audit_invariants", "capture_state", "checkpoints",
+    "discard", "fingerprint_components", "latest", "read_checkpoint",
+    "read_latest_checkpoint", "restore", "snapshot", "verify_state",
+    "write_checkpoint",
 ]

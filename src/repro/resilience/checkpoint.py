@@ -149,17 +149,29 @@ def write_checkpoint(path, sim, interval, limit, meta=None):
     # must not clobber each other's in-flight write (the rename itself
     # is atomic either way).
     tmp = "%s.%d.tmp" % (path, os.getpid())
-    with open(tmp, "wb") as fh:
-        fh.write(header)
-        fh.write(body)
-    os.replace(tmp, path)
+    try:
+        with open(tmp, "wb") as fh:
+            fh.write(header)
+            fh.write(body)
+        os.replace(tmp, path)
+    except OSError:
+        # Disk full, read-only remount, vanished directory: leave no
+        # half-written temp behind and let the caller decide whether
+        # the run survives without this capsule.
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
     _log.info("checkpoint written: %s (interval %d)", path, interval)
     return path
 
 
-def read_checkpoint(path):
+def read_checkpoint(path, load_sim=True):
     """Read and validate a checkpoint capsule.  The embedded simulator
-    is unpickled into ``capsule['sim']``."""
+    is unpickled into ``capsule['sim']`` unless ``load_sim`` is False
+    (light readers — fleet journaling, chain inspection — only need the
+    header fields and meta, not a reconstructed simulator)."""
     with open(path, "rb") as fh:
         header = fh.readline()
         body = fh.read()
@@ -179,7 +191,8 @@ def read_checkpoint(path):
     if zlib.crc32(body) & 0xFFFFFFFF != crc:
         raise CheckpointError("%s failed its checksum" % (path,))
     capsule = pickle.loads(body)
-    capsule["sim"] = pickle.loads(capsule["sim"])
+    if load_sim:
+        capsule["sim"] = pickle.loads(capsule["sim"])
     return capsule
 
 
@@ -277,6 +290,7 @@ class Checkpointer:
         self.run_id = run_id or os.urandom(4).hex()
         self.saved = 0
         self.last_path = None
+        self._write_failed = False
         os.makedirs(directory, exist_ok=True)
         self._prune_orphans()
 
@@ -312,10 +326,30 @@ class Checkpointer:
     def save(self, sim, interval, limit):
         path = os.path.join(self.directory,
                             "%s%08d.pkl" % (self._prefix(), interval))
-        write_checkpoint(path, sim, interval, limit, self.meta)
+        meta = dict(self.meta)
+        sentinel = getattr(sim, "integrity", None)
+        if sentinel is not None:
+            # Deep digests: ``--resume`` and ``repro verify`` check the
+            # restored state against these before trusting the capsule.
+            meta["integrity"] = sentinel.capsule_record(sim)
+        flight = getattr(sim, "flight", None)
+        try:
+            write_checkpoint(path, sim, interval, limit, meta)
+        except OSError as exc:
+            # A full or read-only disk must not kill a healthy run:
+            # warn once, keep simulating without resumability.
+            if not self._write_failed:
+                self._write_failed = True
+                _log.warning("checkpoint write failed (%s); run "
+                             "continues without resume capsules: %s",
+                             path, exc)
+            if flight is not None:
+                flight.record("checkpoint_failed", interval=interval,
+                              path=path, error=str(exc))
+            return None
+        self._write_failed = False
         self.saved += 1
         self.last_path = path
-        flight = getattr(sim, "flight", None)
         if flight is not None:
             flight.record("checkpoint", interval=interval, path=path)
         self._prune()

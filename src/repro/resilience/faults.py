@@ -177,10 +177,21 @@ class RaiseInJob(Fault):
 
 
 class CorruptEvent(Fault):
-    """Rewrite one queued weave timestamp to a wildly early cycle.  The
-    entry sits at a heap leaf; the first pop promotes it to the root,
-    the second pop surfaces it below the domain's interval floor and
-    :class:`~repro.errors.HorizonViolation` fires."""
+    """State corruption, in two flavors selected by the selector:
+
+    * ``corrupt@I[:dN]`` (domain selector or none) rewrites one queued
+      weave timestamp to a wildly early cycle.  The entry sits at a
+      heap leaf; the first pop promotes it to the root, the second pop
+      surfaces it below the domain's interval floor and
+      :class:`~repro.errors.HorizonViolation` fires — a *loud* fault.
+    * ``corrupt@I:cN`` (core selector) silently invalidates a line the
+      core's L1D still holds from the parent cache's array, leaving the
+      coherence directory untouched — an inclusion violation with **no
+      typed symptom at all**.  Only the integrity sentinel's auditor
+      (``--audit-every``) detects it; an unaudited run carries the
+      damage into every downstream interval and checkpoint (see
+      repro.resilience.integrity).
+    """
 
     kind = "corrupt"
     dispatch = False
@@ -198,6 +209,26 @@ class CorruptEvent(Fault):
             if len(domain._queue) >= 2:
                 cycle, seq, item = domain._queue[-1]
                 domain._queue[-1] = (cycle - self.DELTA, seq, item)
+                self.fired = True
+                return True
+        return False
+
+    def apply_state(self, sim, rng):
+        """Silent flavor (``c<N>`` selector): drop the parent cache's
+        copy of a line the victim core's L1D still holds.  The
+        directory is deliberately left stale — the corruption must be
+        symptomless until an audit walks the hierarchy.  Deterministic:
+        residency iteration order is insertion order, identical across
+        same-seeded runs."""
+        core = self.core or 0
+        l1d = sim.hierarchy.l1d[min(core, len(sim.hierarchy.l1d) - 1)]
+        for line, _state in l1d.array.resident_lines():
+            parent, _net = l1d.parent_select(line)
+            array = getattr(parent, "array", None)
+            if array is None:
+                continue  # parent is main memory: nothing to corrupt
+            if array.lookup(line, touch=False) is not None:
+                array.invalidate(line)
                 self.fired = True
                 return True
         return False
@@ -320,11 +351,31 @@ class FaultPlan:
         return fn
 
     def corrupt(self, weave, interval):
-        """Called after an executor seeds the weave queues."""
+        """Called after an executor seeds the weave queues.  Core-
+        selector corrupt faults are the *silent* flavor and belong to
+        the :meth:`scribble` seam, never to a weave queue."""
         for fault in self.faults:
             if (not fault.dispatch and not fault.process
-                    and not fault.fired and fault.interval == interval):
+                    and not fault.fired and fault.interval == interval
+                    and fault.core is None):
                 fault.apply(weave, self._rng)
+
+    def scribble(self, sim, interval):
+        """Silent state-corruption seam: called by the simulator between
+        the bound and weave phases of every interval (all backends,
+        serial included).  Matching ``corrupt@I:cN`` faults damage
+        architectural state directly — the integrity sentinel is the
+        only thing that can detect them."""
+        for fault in self.faults:
+            if (isinstance(fault, CorruptEvent)
+                    and fault.core is not None and not fault.fired
+                    and fault.interval == interval):
+                if fault.apply_state(sim, self._rng):
+                    flight = getattr(sim, "flight", None)
+                    if flight is not None:
+                        flight.record("fault_injected", fault=fault.kind,
+                                      interval=interval, core=fault.core,
+                                      silent=True)
 
     def process_faults(self, interval):
         """Unfired real-process faults for ``interval`` (the process

@@ -1,0 +1,283 @@
+"""State-integrity sentinel: fingerprint chains and invariant audits.
+
+The bound-weave engine's determinism contract — every backend produces
+byte-identical simulated state — is enforced offline by test oracles,
+but a *silently* corrupted cache line or scoreboard entry (a bad host,
+a buggy executor, an injected ``corrupt`` fault) sails through the
+supervisor, which only reacts to typed faults, and poisons every
+downstream interval and checkpoint.  This module closes that loop with
+three pieces (ISSUE 9):
+
+* **Interval fingerprint chain.**  At every interval barrier the
+  sentinel computes a cheap ``zlib.crc32`` digest per component (core
+  stage clocks and scoreboards, cache counters and occupancy, scheduler
+  queues, weave domains) and folds them into a hash ledger::
+
+      fp[i] = crc32(interval_i || sorted per-component digests, fp[i-1])
+
+  A divergence names the guilty subsystem via the per-component
+  sub-digests.  The chain value is recorded into the flight ring,
+  embedded in checkpoint capsule meta (``meta["integrity"]``, with
+  *deep* full tag+MESI digests so ``--resume`` and ``repro verify`` can
+  re-derive them), and journaled per job by the fleet orchestrator.
+
+* **Online invariant auditor.**  At a configurable stride
+  (``--audit-every N``; 0 = off) the sentinel checks structural
+  invariants the engine must preserve at every barrier: MESI
+  single-writer and inclusion, cache-array free-way bookkeeping, weave
+  queues drained and horizon floors respected, scheduler run-queue /
+  running-slot consistency, and the PR-6 slab/freelist hygiene rules.
+  A violation raises :class:`~repro.errors.IntegrityError` carrying the
+  component path and a state excerpt.
+
+* **Rollback-to-verified.**  The supervisor treats an
+  :class:`~repro.errors.IntegrityError` (or a fingerprint divergence)
+  as its second trigger: because the corruption may predate detection,
+  it rewinds to the last *fingerprint-verified* snapshot — the previous
+  audited barrier, not merely the current interval — and replays the
+  whole span serially (see :mod:`repro.resilience.supervisor`).
+
+Digest depth: the per-barrier chain uses *cheap* digests (counters,
+occupancy, free-way CRCs — O(sets), not O(lines)) so the default-stride
+overhead stays under the hotpath budget; checkpoint capsules and
+``repro verify`` use *deep* digests that walk the full tag+MESI arrays
+and directories, where the cost is per-checkpoint rather than
+per-interval.
+"""
+
+from __future__ import annotations
+
+import zlib
+
+from repro.errors import IntegrityError
+
+#: Caps mirrored from the PR-6 data-plane slabs; the auditor flags any
+#: pool that grew past its documented bound (a leak or a broken cap).
+_TRACE_FREELIST_CAP = 64
+
+
+def _crc(items, crc=0):
+    """Fold an iterable of picklable-repr items into a crc32 digest.
+    ``repr`` is stable for ints, strings, tuples, and enums — the only
+    things walkers may yield."""
+    for item in items:
+        crc = zlib.crc32(repr(item).encode("ascii", "backslashreplace"),
+                         crc)
+    return crc & 0xFFFFFFFF
+
+
+def fingerprint_components(sim, deep=False):
+    """Per-component state digests at an interval barrier.
+
+    Returns ``{component_path: crc32}``.  With ``deep=False`` (the
+    per-barrier chain) each digest covers counters, clocks, occupancy
+    and queue summaries; ``deep=True`` (checkpoint capsules, resume
+    verification, ``repro verify``) additionally walks full cache
+    tag+MESI arrays and coherence directories.
+    """
+    digests = {}
+    for core in sim.cores:
+        digests["core%d" % core.core_id] = _crc(core.integrity_items())
+    hierarchy = sim.hierarchy
+    for cache in hierarchy.all_caches():
+        digests["mem.%s" % cache.name] = _crc(
+            cache.integrity_items(deep=deep))
+    digests["mem.mem"] = _crc(hierarchy.mainmem.integrity_items(deep=deep))
+    digests["sched"] = _crc(sim.scheduler.integrity_items())
+    if sim.weave is not None:
+        for domain in sim.weave.domains:
+            digests["weave.domain%d" % domain.domain_id] = _crc(
+                domain.integrity_items())
+    return digests
+
+
+def chain_payload(interval, digests):
+    """Canonical byte string folded into the fingerprint chain for one
+    barrier (also what ``repro verify`` re-derives)."""
+    return ("%d|" % interval + "|".join(
+        "%s:%08x" % (name, digests[name])
+        for name in sorted(digests))).encode("ascii")
+
+
+# ---------------------------------------------------------------------
+# Invariant audits
+# ---------------------------------------------------------------------
+
+
+def audit_invariants(sim):
+    """Check every barrier invariant; returns ``(component, excerpt)``
+    violation pairs (empty when the state is sound)."""
+    violations = []
+    hierarchy = sim.hierarchy
+    # MESI single-writer across the L1s (>=2 copies with an M/E owner).
+    for line, copies in hierarchy.check_coherence():
+        violations.append(
+            ("mem", "single-writer violated for line 0x%x: %s"
+             % (line, sorted(copies))))
+    # Inclusion: every child-resident line present in its parent.
+    for child, parent, line in hierarchy.check_inclusion():
+        violations.append(
+            ("mem.%s" % child,
+             "line 0x%x resident but absent from parent %s (inclusion)"
+             % (line, parent)))
+    # Cache-array bookkeeping: free-way counts and way back-pointers.
+    for cache in hierarchy.all_caches():
+        violations.extend(cache.array.audit_invariants(
+            "mem.%s" % cache.name))
+    if sim.weave is not None:
+        for domain in sim.weave.domains:
+            if len(domain._queue):
+                violations.append(
+                    ("weave.domain%d" % domain.domain_id,
+                     "%d event(s) still queued at the interval barrier"
+                     % len(domain._queue)))
+        # Slab hygiene (PR 6): a pooled event must carry no edges.
+        for event in sim.weave.pool._free:
+            if event.children:
+                violations.append(
+                    ("weave.pool",
+                     "recycled event kept %d dependency edge(s): %r"
+                     % (len(event.children), event)))
+                break
+    # Scheduler bookkeeping (run queue vs. running slots).
+    violations.extend(sim.scheduler.audit_invariants())
+    # Trace freelist (PR 6): bounded, and every shell handed back empty.
+    freelist = getattr(sim, "_trace_freelist", None)
+    if freelist is not None:
+        if len(freelist) > _TRACE_FREELIST_CAP:
+            violations.append(
+                ("sim.trace_freelist",
+                 "freelist grew to %d shells (cap %d)"
+                 % (len(freelist), _TRACE_FREELIST_CAP)))
+        for trace in freelist:
+            if trace:
+                violations.append(
+                    ("sim.trace_freelist",
+                     "recycled trace shell holds %d record(s)"
+                     % len(trace)))
+                break
+    return violations
+
+
+# ---------------------------------------------------------------------
+# The sentinel
+# ---------------------------------------------------------------------
+
+
+class IntegritySentinel:
+    """Fingerprint-chain + audit state for one run.
+
+    Deliberately *part of simulated state*: the sentinel pickles with
+    the simulator (it is **not** in ``checkpoint._detached``), so every
+    snapshot restore — supervisor rollback or ``--resume`` — rewinds
+    the chain to the barrier it is restoring, and replayed intervals
+    re-derive identical chain values.
+    """
+
+    def __init__(self, audit_every=0):
+        #: Audit stride in intervals; 0 = fingerprints only, no audits.
+        self.audit_every = max(0, int(audit_every))
+        #: Running chain value (crc32 ledger over all barriers so far).
+        self.chain = 0
+        #: Interval of the most recent observation.
+        self.interval = 0
+        #: Cheap per-component digests of the most recent barrier.
+        self.components = {}
+        self.fingerprints = 0
+        self.audits = 0
+        self.violations = 0
+
+    # -- per-barrier hook ---------------------------------------------
+
+    def observe(self, sim, interval):
+        """Advance the chain at an interval barrier; run the invariant
+        auditor when ``interval`` lands on the audit stride.  Raises
+        :class:`~repro.errors.IntegrityError` on a violation."""
+        digests = fingerprint_components(sim)
+        self.chain = zlib.crc32(chain_payload(interval, digests),
+                                self.chain) & 0xFFFFFFFF
+        self.components = digests
+        self.interval = interval
+        self.fingerprints += 1
+        flight = getattr(sim, "flight", None)
+        if flight is not None:
+            flight.record("fingerprint", interval=interval,
+                          chain="%08x" % self.chain)
+        if self.audit_every and interval % self.audit_every == 0:
+            self.audit(sim, interval)
+        return self.chain
+
+    def audit(self, sim, interval=None):
+        """Run the invariant auditor now; raises on any violation."""
+        self.audits += 1
+        violations = audit_invariants(sim)
+        if not violations:
+            return
+        self.violations += len(violations)
+        component, excerpt = violations[0]
+        flight = getattr(sim, "flight", None)
+        if flight is not None:
+            for comp, text in violations:
+                flight.record("integrity_violation", interval=interval,
+                              component=comp, excerpt=text)
+        raise IntegrityError(
+            "integrity audit failed at interval %s: %s — %s%s"
+            % (interval, component, excerpt,
+               " (+%d more violation(s))" % (len(violations) - 1)
+               if len(violations) > 1 else ""),
+            component=component, excerpt=excerpt, interval=interval,
+            phase="audit")
+
+    # -- checkpoint / verify support ----------------------------------
+
+    def capsule_record(self, sim):
+        """Record embedded in checkpoint capsule meta: the chain value
+        at this barrier plus *deep* per-component digests that
+        ``ZSim.resume`` and ``repro verify`` recompute byte-for-byte."""
+        return {
+            "interval": self.interval,
+            "chain": self.chain,
+            "audit_every": self.audit_every,
+            "components": fingerprint_components(sim, deep=True),
+        }
+
+    def summary(self):
+        """Counters for the stats tree / fleet journal."""
+        return {"fingerprints": self.fingerprints, "audits": self.audits,
+                "violations": self.violations, "chain": self.chain,
+                "interval": self.interval}
+
+
+def verify_state(sim, record, context="resume"):
+    """Recompute deep digests on a (restored) simulator and check them
+    against a checkpoint capsule's ``meta["integrity"]`` record.
+    Returns the digests on success; raises
+    :class:`~repro.errors.IntegrityError` naming the first diverging
+    component otherwise."""
+    digests = fingerprint_components(sim, deep=True)
+    expected = dict(record.get("components") or {})
+    guilty = [name for name in sorted(set(digests) | set(expected))
+              if digests.get(name) != expected.get(name)]
+    sentinel = getattr(sim, "integrity", None)
+    if not guilty and sentinel is not None \
+            and record.get("chain") is not None \
+            and sentinel.chain != record["chain"]:
+        guilty = ["chain"]
+        digests = dict(digests, chain=sentinel.chain)
+        expected["chain"] = record["chain"]
+    if not guilty:
+        return digests
+    name = guilty[0]
+    raise IntegrityError(
+        "%s fingerprint mismatch at interval %s: component %s digest "
+        "%s != recorded %s (%d component(s) diverged: %s)"
+        % (context, record.get("interval"), name,
+           _hex(digests.get(name)), _hex(expected.get(name)),
+           len(guilty), ", ".join(guilty[:8])),
+        component=name, fingerprint=digests.get(name),
+        expected=expected.get(name), interval=record.get("interval"),
+        phase="verify")
+
+
+def _hex(value):
+    return "%08x" % value if isinstance(value, int) else "absent"

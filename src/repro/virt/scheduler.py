@@ -109,6 +109,66 @@ class Scheduler:
                      "syscalls": t.syscall_count}
                     for t in self.live_threads]
 
+    def integrity_items(self):
+        """Digest items for the integrity sentinel (called at the
+        interval barrier, where the scheduler is quiesced): global
+        counters, per-thread scheduling state in registration order,
+        queue/slot occupancy, and sync-object summaries.  Threads are
+        identified by name — object reprs would leak host addresses
+        into the digest.  Sync-object keys may mix types, so sorts key
+        on repr."""
+        yield (self.num_cores, self.context_switches,
+               self.syscalls_handled)
+        for t in self.threads:
+            yield (t.name, t.state, t.core, t.home_core, t.wake_cycle,
+                   t.run_start_cycle, t.cpu_cycles, t.blocked_count,
+                   t.syscall_count)
+        yield tuple(t.name for t in self._run_queue)
+        yield tuple(t.name if t is not None else None
+                    for t in self._running)
+        yield tuple(sorted(((key, len(waiters)) for key, waiters
+                            in self._futex_waiters.items()), key=repr))
+        yield tuple(sorted(self._futex_tokens.items(), key=repr))
+        yield tuple(sorted(((key, len(arrived)) for key, arrived
+                            in self._barriers.items()), key=repr))
+        yield tuple(sorted(((key, owner.name) for key, owner
+                            in self._lock_owner.items()), key=repr))
+        yield tuple(sorted(((key, len(waiters)) for key, waiters
+                            in self._lock_waiters.items()), key=repr))
+        yield tuple(sorted((cycle, t.name) for cycle, t in self._sleepers))
+
+    def audit_invariants(self):
+        """Barrier-time bookkeeping invariants for the integrity
+        sentinel's auditor; returns ``(component, excerpt)`` pairs.
+        Only structural facts that hold at *every* barrier are checked
+        (the run queue may legally hold stale non-runnable entries —
+        ``pick_thread`` skips them — so thread states are not
+        policed)."""
+        violations = []
+        with self._lock:
+            on_core = {}
+            for core_id, thread in enumerate(self._running):
+                if thread is None:
+                    continue
+                if id(thread) in on_core:
+                    violations.append(
+                        ("sched", "thread %s is running on cores %d "
+                         "and %d" % (thread.name, on_core[id(thread)],
+                                     core_id)))
+                on_core[id(thread)] = core_id
+                if thread.core != core_id:
+                    violations.append(
+                        ("sched", "thread %s occupies core %d but "
+                         "records core=%r" % (thread.name, core_id,
+                                              thread.core)))
+            for thread in self._run_queue:
+                if id(thread) in on_core:
+                    violations.append(
+                        ("sched", "thread %s is both running (core %d) "
+                         "and run-queued" % (thread.name,
+                                             on_core[id(thread)])))
+        return violations
+
     # ------------------------------------------------------------------
     # Thread management
     # ------------------------------------------------------------------
