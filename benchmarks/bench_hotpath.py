@@ -9,6 +9,10 @@ Two pinned scenarios track the data-plane trajectory (ISSUE 7):
   SPEC-like app.
 * ``16core`` — an end-to-end 16-core tiled run (OOO, weave contention,
   serial backend) on a multithreaded workload.
+* ``pingpong`` — a coherence-heavy 4-core run (ISSUE 10): canneal's
+  high-sharing pointer chase bounces written lines between private
+  caches, so wall time lives in the directory walk, not the L1 fast
+  path.  This is where the flattened coherence walk is measured.
 
 Unlike the pytest figure benchmarks, this is a standalone script so CI
 can run it directly and assert a MIPS floor::
@@ -112,6 +116,34 @@ def run_16core(target_instrs, repeats):
     }]
 
 
+def run_pingpong(target_instrs, repeats):
+    """Coherence-heavy 4-core MIPS (best of ``repeats``): canneal on a
+    Westmere-like chip — 60% shared footprint, chase pattern, lock
+    traffic — so upgrades, downgrades, and directory fan-out dominate."""
+    config = westmere(num_cores=4)
+    best = None
+    for _ in range(repeats):
+        workload = mt_workload("canneal", scale=1 / 32, num_threads=4)
+        threads = workload.make_threads(target_instrs=target_instrs,
+                                        num_threads=4)
+        sim = ZSim(with_core_model(config, "ooo"), threads=threads,
+                   contention_model="weave", flight=False)
+        result = sim.run()
+        if best is None or result.mips > best[0].mips:
+            best = (result, _dbt_stats(result))
+    result, dbt = best
+    return [{
+        "name": "pingpong/canneal",
+        "cores": 4,
+        "instrs": result.instrs,
+        "cycles": result.cycles,
+        "wall_seconds": result.wall_seconds,
+        "mips": result.mips,
+        "ipc": result.ipc,
+        "dbt": dbt,
+    }]
+
+
 def run_fingerprint(target_instrs, repeats):
     """Fingerprint-chain overhead column: the pinned 16-core scenario
     with the integrity sentinel absent vs fingerprint-only (audit
@@ -181,7 +213,8 @@ def main(argv=None):
                         help="output path (default: benchmarks/results/"
                              "bench_hotpath_<label>.json)")
     parser.add_argument("--scenario",
-                        choices=("single", "16core", "fingerprint", "all"),
+                        choices=("single", "16core", "pingpong",
+                                 "fingerprint", "all"),
                         default="all")
     parser.add_argument("--instrs", type=int, default=60_000,
                         help="single-thread instruction target "
@@ -192,6 +225,10 @@ def main(argv=None):
                         metavar="FLOOR",
                         help="exit 1 unless hmean single-thread MIPS "
                              ">= FLOOR (CI perf-smoke gate)")
+    parser.add_argument("--assert-pingpong-mips", type=float,
+                        default=None, metavar="FLOOR",
+                        help="exit 1 unless the coherence-heavy pingpong "
+                             "MIPS >= FLOOR (CI perf-smoke gate)")
     parser.add_argument("--assert-fingerprint-overhead", type=float,
                         default=None, metavar="PCT",
                         help="exit 1 if the fingerprint chain costs "
@@ -207,6 +244,9 @@ def main(argv=None):
     if args.scenario in ("16core", "all"):
         runs.extend(run_16core(max(2_000, args.instrs // 4),
                                args.repeats))
+    if args.scenario in ("pingpong", "all"):
+        runs.extend(run_pingpong(max(2_000, args.instrs // 2),
+                                 args.repeats))
     if args.scenario in ("fingerprint", "all"):
         fingerprint = run_fingerprint(max(2_000, args.instrs // 4),
                                       args.repeats)
@@ -214,6 +254,8 @@ def main(argv=None):
 
     single = [r["mips"] for r in runs if r["name"].startswith("single/")]
     multi = [r["mips"] for r in runs if r["name"].startswith("16core/")]
+    pingpong = [r["mips"] for r in runs
+                if r["name"].startswith("pingpong/")]
     payload = {
         "schema": SCHEMA_VERSION,
         "bench": "hotpath",
@@ -227,6 +269,7 @@ def main(argv=None):
         "summary": {
             "single_thread_hmean_mips": hmean(single) if single else None,
             "multicore_mips": multi[0] if multi else None,
+            "pingpong_mips": pingpong[0] if pingpong else None,
             "fingerprint_overhead_pct": (fingerprint["overhead_pct"]
                                          if fingerprint else None),
         },
@@ -249,6 +292,8 @@ def main(argv=None):
             "single_thread_hmean_mips"])
     if multi:
         print("16-core end-to-end  : %.4f MIPS" % multi[0])
+    if pingpong:
+        print("pingpong coherence  : %.4f MIPS" % pingpong[0])
     if fingerprint:
         print("fingerprint off/on  : %.4f / %.4f MIPS  (overhead %+.2f%%)"
               % (fingerprint["mips_off"], fingerprint["mips_on"],
@@ -263,6 +308,14 @@ def main(argv=None):
             return 1
         print("perf-smoke floor OK (%.4f >= %.4f)"
               % (got, args.assert_mips))
+    if args.assert_pingpong_mips is not None:
+        got = payload["summary"]["pingpong_mips"] or 0.0
+        if got < args.assert_pingpong_mips:
+            print("FAIL: pingpong MIPS %.4f below floor %.4f"
+                  % (got, args.assert_pingpong_mips), file=sys.stderr)
+            return 1
+        print("pingpong floor OK (%.4f >= %.4f)"
+              % (got, args.assert_pingpong_mips))
     if args.assert_fingerprint_overhead is not None and fingerprint:
         got = fingerprint["overhead_pct"]
         if got > args.assert_fingerprint_overhead:

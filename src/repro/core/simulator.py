@@ -11,6 +11,7 @@ phase).
 
 from __future__ import annotations
 
+import gc
 import time
 
 from repro.core.bound import BoundPhase
@@ -133,8 +134,12 @@ class SimulationResult:
             "translation_invalidations": sum(t.invalidations
                                              for t in tcaches.values()),
             "fastpath_hits": fast,
+            "l2_fastpath_hits": getattr(hierarchy, "l2_fastpath_hits", 0),
             "slow_accesses": slow,
             "fastpath_hit_rate": fast / accesses if accesses else 0.0,
+            "dir_bitmask_ops": (
+                sum(c.dir_ops for c in hierarchy.all_caches())
+                + hierarchy.mainmem.dir_ops),
             "ctx_reuses": getattr(hierarchy, "ctx_reuses", 0),
             "result_reuses": getattr(hierarchy, "result_reuses", 0),
             "trace_recycles": getattr(sim, "trace_recycles", 0),
@@ -396,6 +401,12 @@ class ZSim:
             _log.info("resuming at interval %d (limit cycle %d)",
                       intervals_run, limit)
         run_state = "done"
+        # The hot loops recycle their objects through slab pools, so
+        # gen-0 collections mostly scan survivors for nothing; raising
+        # the thresholds for the run's duration trims that overhead
+        # without changing observable behavior (restored in finally).
+        gc_thresholds = gc.get_threshold()
+        gc.set_threshold(200_000, 50, 50)
         try:
             # Always dereference self.scheduler inside the loop: a
             # resilience restore swaps the simulator's __dict__, so any
@@ -464,6 +475,7 @@ class ZSim:
                                     interval=intervals_run)
             raise
         finally:
+            gc.set_threshold(*gc_thresholds)
             self.backend.shutdown()
             if self.monitor is not None:
                 self.monitor.finish(self, run_state)

@@ -25,7 +25,7 @@ import heapq
 import time
 
 from repro.core.events import EventPool, WeaveEvent
-from repro.core.domains import assign_domains
+from repro.core.domains import CoreWeave, assign_domains
 from repro.errors import HorizonViolation
 from repro.obs.tracer import TID_DOMAIN
 
@@ -73,6 +73,9 @@ class WeaveEngine:
             list(core_weaves) + self.components, num_tiles, num_domains)
         self.pool = EventPool()
         self.stats = WeaveStats()
+        #: (component, kind) -> zero-load service cycles.  Service times
+        #: are pure per key, so one call each is enough for the run.
+        self._svc_cache = {}
         self._telem = telemetry
         #: Optional list collecting (component, kind, min_cycle, start,
         #: done, core_id) per executed event — the Figure 4 trace, for
@@ -174,6 +177,10 @@ class WeaveEngine:
         # events can pick up a second (MLP-window) edge.
         pool = self.pool
         free_list = pool._free
+        svc_cache = self.__dict__.get("_svc_cache")
+        if svc_cache is None:  # engine restored from an older capsule
+            svc_cache = self._svc_cache = {}
+        svc_get = svc_cache.get
         events = []
         events_append = events.append
         last_resp = {}
@@ -194,7 +201,19 @@ class WeaveEngine:
                 else:
                     pool.allocated += 1
                     req = WeaveEvent()
-                req.reset(core_weave, "REQ", line, issue_cycle, 0, core_id)
+                # WeaveEvent.reset, inlined at each allocation site
+                # below: plain field stores, children left alone (the
+                # pool cleared them on free).
+                req.component = core_weave
+                req.kind = "REQ"
+                req.line = line
+                req.min_cycle = issue_cycle
+                req.service = 0
+                req.core_id = core_id
+                req.parents_left = 0
+                req.ready = issue_cycle
+                req.done = None
+                req.is_response = False
                 events_append(req)
                 if len(resp_history) >= mlp:
                     parent = resp_history[-mlp]
@@ -206,14 +225,25 @@ class WeaveEngine:
                 steps = result.steps
                 for comp, offset, kind in steps:
                     min_cycle = issue_cycle + offset
-                    service = comp.zero_load_service(kind)
+                    service = svc_get((comp, kind))
+                    if service is None:
+                        service = svc_cache[(comp, kind)] = \
+                            comp.zero_load_service(kind)
                     if free_list:
                         pool.recycled += 1
                         ev = free_list.pop()
                     else:
                         pool.allocated += 1
                         ev = WeaveEvent()
-                    ev.reset(comp, kind, line, min_cycle, service, core_id)
+                    ev.component = comp
+                    ev.kind = kind
+                    ev.line = line
+                    ev.min_cycle = min_cycle
+                    ev.service = service
+                    ev.core_id = core_id
+                    ev.ready = min_cycle
+                    ev.done = None
+                    ev.is_response = False
                     events_append(ev)
                     gap = min_cycle - prev_base
                     prev.children.append((ev, gap if gap > 0 else 0))
@@ -227,7 +257,14 @@ class WeaveEngine:
                 else:
                     pool.allocated += 1
                     resp = WeaveEvent()
-                resp.reset(core_weave, "RESP", line, resp_cycle, 0, core_id)
+                resp.component = core_weave
+                resp.kind = "RESP"
+                resp.line = line
+                resp.min_cycle = resp_cycle
+                resp.service = 0
+                resp.core_id = core_id
+                resp.ready = resp_cycle
+                resp.done = None
                 resp.is_response = True
                 events_append(resp)
                 gap = resp_cycle - prev_base
@@ -243,8 +280,19 @@ class WeaveEngine:
                     else:
                         pool.allocated += 1
                         wb = WeaveEvent()
-                    wb.reset(comp, kind, line, min_cycle,
-                             comp.zero_load_service(kind), core_id)
+                    service = svc_get((comp, kind))
+                    if service is None:
+                        service = svc_cache[(comp, kind)] = \
+                            comp.zero_load_service(kind)
+                    wb.component = comp
+                    wb.kind = kind
+                    wb.line = line
+                    wb.min_cycle = min_cycle
+                    wb.service = service
+                    wb.core_id = core_id
+                    wb.ready = min_cycle
+                    wb.done = None
+                    wb.is_response = False
                     events_append(wb)
                     gap = min_cycle - anchor_base
                     anchor.children.append((wb, gap if gap > 0 else 0))
@@ -261,7 +309,25 @@ class WeaveEngine:
         """Reference execution: seed the domain queues, then drain
         earliest-first.  Backends may replace the drain (via the
         ``executor`` hook of :meth:`run_interval`) but reuse
-        :meth:`seed_queues`."""
+        :meth:`seed_queues`.
+
+        The single-domain case inlines the seeding as well: every event
+        lands in domain 0 with the same incrementing-seq heap entries
+        :meth:`Domain.push` would build, skipping the per-event
+        ``domain`` property and push call."""
+        domains = self.domains
+        if len(domains) == 1 and self.journal is None:
+            domain = domains[0]
+            queue = domain._queue
+            seq = domain._seq
+            heappush = heapq.heappush
+            for event in events:
+                if event.parents_left == 0:
+                    seq += 1
+                    heappush(queue, (event.min_cycle, seq, event))
+            domain._seq = seq
+            self._drain_single(domain)
+            return
         self.seed_queues(events)
         self._drain_earliest_first()
 
@@ -341,8 +407,14 @@ class WeaveEngine:
                 start = event.ready
                 if cycle > start:
                     start = cycle
-                done = event.component.occupy(start, event.kind,
-                                              event.line)
+                comp = event.component
+                if type(comp) is CoreWeave:
+                    # CoreWeave.occupy, inlined: REQ/RESP events (about
+                    # half of all events) have no occupancy state.
+                    comp.events_executed += 1
+                    done = start
+                else:
+                    done = comp.occupy(start, event.kind, event.line)
                 event.done = done
                 executed += 1
                 for child, gap in event.children:

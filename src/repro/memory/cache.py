@@ -11,6 +11,17 @@ interference the bound-weave algorithm tolerates.
 Shared caches are banked: each bank is its own :class:`Cache` instance;
 all banks of a level share one children list so child identities are
 stable across banks.
+
+The coherence walk runs on integers (ISSUE 10): every cache carries a
+stable ``child_id`` — its index in its parent level's shared children
+list — and directories store **bitmasks over child indices** instead of
+sets of cache objects.  Sharer updates are single OR/AND-NOT int ops,
+owner lookups are dict-of-int reads, and invalidation/downgrade fan-out
+iterates set bits.  Parent routing is a precomputed table
+(``_parent_banks`` / ``_parent_net`` / ``_parent_hashed``) installed by
+the hierarchy builder — the per-line bank arithmetic is inlined at the
+call sites, and the old unpickleable ``parent_select`` closures are gone
+(a compatible :meth:`parent_select` method remains for introspection).
 """
 
 from __future__ import annotations
@@ -18,6 +29,12 @@ from __future__ import annotations
 from repro.memory.access import StepKind
 from repro.memory.cache_array import CacheArray
 from repro.memory.coherence import MESI
+
+_MESI_S = MESI.S
+_MESI_E = MESI.E
+_MESI_M = MESI.M
+
+_HASH_MULT = 0x9E3779B1
 
 
 class Cache:
@@ -33,13 +50,21 @@ class Cache:
                                 hash_sets=hash_sets)
         #: Wired by the hierarchy builder:
         self.children = []            # caches below (empty for L1s)
-        self.parent_select = None     # line -> (parent, net_latency)
+        self.child_id = 0             # index in the parent's children list
         self.down_latency = 0         # cost of inv/downgrade round trip
         self.weave = None             # weave component, shared caches only
         self.noc_routes = None        # (src,dst) -> NoC weave component
-        # In-cache directory over children.
-        self._sharers = {}            # line -> set of child caches
-        self._owner = {}              # line -> child cache holding E/M
+        # Routing table (replaces the old parent_select closure): the
+        # candidate parent banks, the per-bank zero-load net latency,
+        # and whether the line is hashed across banks.  Dropped from
+        # pickles (parent references point *up* the hierarchy) and
+        # reinstalled by MemoryHierarchy._rewire_parents.
+        self._parent_banks = None     # tuple of parent objects
+        self._parent_net = None       # tuple of ints, same order
+        self._parent_hashed = False
+        # In-cache directory over children (bitmasks of child indices).
+        self._sharers = {}            # line -> int bitmask of child ids
+        self._owner = {}              # line -> child id holding E/M
         # Stats (plain attributes: these are hot counters).
         self.accesses = 0
         self.hits = 0
@@ -50,18 +75,63 @@ class Cache:
         self.downgrades = 0
         self.upgrades = 0             # S->E transitions requested
         self.prefetch_fills = 0
+        #: Host-side odometer: bitmask directory reads/updates (one per
+        #: grant / upgrade / eviction bookkeeping op).  Surfaced under
+        #: stats()["host"]["dbt"]["dir_bitmask_ops"]; never digested.
+        self.dir_ops = 0
 
     def __getstate__(self):
-        """``parent_select`` is a routing closure installed by the
-        hierarchy builder; it is dropped here and re-created by
-        ``MemoryHierarchy.__setstate__`` (checkpoint support)."""
+        """The routing table points *up* the hierarchy; shipping it
+        would put reference cycles in every capsule.  It is dropped
+        here and re-created by ``MemoryHierarchy.__setstate__``
+        (checkpoint support), exactly like the closures it replaced."""
         state = self.__dict__.copy()
-        state["parent_select"] = None
+        state["_parent_banks"] = None
+        state["_parent_net"] = None
+        state.pop("parent_select", None)  # legacy instance attribute
         return state
+
+    def __setstate__(self, state):
+        """Restore, migrating legacy capsules (ISSUE 10): checkpoints
+        written before the bitmask directories hold ``_sharers`` as
+        line -> set-of-child-Cache and ``_owner`` as line -> Cache;
+        both convert to child-index form via the pickled children list
+        (the same order the ids are assigned from)."""
+        state.pop("parent_select", None)  # pre-table capsules store None
+        self.__dict__.update(state)
+        d = self.__dict__
+        d.setdefault("child_id", 0)
+        d.setdefault("dir_ops", 0)
+        d.setdefault("_parent_banks", None)
+        d.setdefault("_parent_net", None)
+        d.setdefault("_parent_hashed", False)
+        sharers = self._sharers
+        if any(not isinstance(mask, int) for mask in sharers.values()):
+            index = {id(child): i for i, child in enumerate(self.children)}
+            self._sharers = {
+                line: sum(1 << index[id(child)] for child in members)
+                for line, members in sharers.items()}
+            self._owner = {line: index[id(owner)]
+                           for line, owner in self._owner.items()}
 
     # ------------------------------------------------------------------
     # Requests from below (the "up" path)
     # ------------------------------------------------------------------
+
+    def parent_select(self, line):
+        """Route ``line`` to its parent: returns ``(parent, net_latency)``.
+
+        Introspection-friendly wrapper over the routing table; the hot
+        walk inlines the same arithmetic (see ``_fetch_and_fill``)."""
+        banks = self._parent_banks
+        if banks is None:
+            return None, 0
+        if len(banks) == 1:
+            return banks[0], self._parent_net[0]
+        key = ((line * _HASH_MULT) & 0xFFFFFFFF) >> 8 \
+            if self._parent_hashed else line
+        idx = key % len(banks)
+        return banks[idx], self._parent_net[idx]
 
     def handle_access(self, line, write, requester, ctx):
         """Serve a GETS/GETX from ``requester`` (a child cache, or None
@@ -69,43 +139,58 @@ class Cache:
         state granted to the requester."""
         self.accesses += 1
         arrival = ctx.latency
-        ctx.latency += self.latency
-        state = self.array.lookup(line)
-        if state is None:
+        ctx.latency = arrival + self.latency
+        array = self.array
+        idx = (line % array.num_sets if not array.hash_sets
+               else array.set_index(line))
+        entry = array._lines[idx].get(line)
+        if entry is None:
             self.misses += 1
-            ctx.record_miss(self.level)
+            ctx.missed_levels.append(self.level)
             if self.weave is not None:
-                ctx.add_step_at(self.weave, arrival, StepKind.MISS)
+                ctx.steps.append((self.weave, arrival, StepKind.MISS))
             state = self._fetch_and_fill(line, write, ctx)
         else:
+            array._repl[idx].touch(entry[0])
+            state = entry[1]
             self.hits += 1
-            ctx.record_hit(self.level)
+            if ctx.hit_level is None:
+                ctx.hit_level = self.level
             if self.weave is not None:
-                ctx.add_step_at(self.weave, arrival, StepKind.HIT)
-            if write and state == MESI.S:
+                ctx.steps.append((self.weave, arrival, StepKind.HIT))
+            if write and state == _MESI_S:
                 # Upgrade: gain exclusivity from the parent level.
                 self.upgrades += 1
                 parent, net = self.parent_select(line)
                 ctx.latency += net
                 parent.acquire_exclusive(line, self, ctx)
-                state = MESI.E
-                self.array.update_state(line, state)
+                state = _MESI_E
+                array._lines[idx][line] = (entry[0], state)
         if self.children:
             return self._grant_to_child(line, write, requester, state, ctx)
         # Leaf (L1): apply the access to our own copy.
         if write:
-            state = MESI.M
-            self.array.update_state(line, state)
+            state = _MESI_M
+            array._lines[idx][line] = (array._lines[idx][line][0], state)
         return state
 
     def _fetch_and_fill(self, line, write, ctx):
         """Miss path: fetch from parent, fill, handle the victim."""
-        parent, net = self.parent_select(line)
+        banks = self._parent_banks
+        if len(banks) == 1:
+            parent = banks[0]
+            net = self._parent_net[0]
+        else:
+            key = ((line * _HASH_MULT) & 0xFFFFFFFF) >> 8 \
+                if self._parent_hashed else line
+            bank = key % len(banks)
+            parent = banks[bank]
+            net = self._parent_net[bank]
         if self.noc_routes is not None:
             route = self.noc_routes.get(
                 (self.tile, getattr(parent, "tile", self.tile)))
             if route is not None:
-                ctx.add_step_at(route, ctx.latency, StepKind.NOC)
+                ctx.steps.append((route, ctx.latency, StepKind.NOC))
         ctx.latency += net
         granted = parent.handle_access(line, write, self, ctx)
         victim, vstate = self.array.fill(line, granted)
@@ -127,40 +212,52 @@ class Cache:
     def acquire_exclusive(self, line, requester, ctx):
         """Upgrade request from ``requester``: invalidate every other copy
         below this level and ensure this level itself is exclusive."""
+        rid = requester.child_id
+        self.dir_ops += 1
         dirty = False
-        for child in list(self._sharers.get(line, ())):
-            if child is not requester:
-                dirty |= child.invalidate_subtree(line, ctx)
-                ctx.latency += self.down_latency
+        others = self._sharers.get(line, 0) & ~(1 << rid)
+        if others:
+            children = self.children
+            down = self.down_latency
+            while others:
+                low = others & -others
+                others ^= low
+                dirty |= children[low.bit_length() - 1] \
+                    .invalidate_subtree(line, ctx)
+                ctx.latency += down
                 ctx.invalidations += 1
         state = self.array.lookup(line, touch=False)
-        if state == MESI.S:
+        if state == _MESI_S:
             parent, net = self.parent_select(line)
             ctx.latency += net
             parent.acquire_exclusive(line, self, ctx)
-            state = MESI.E
-        if dirty and state == MESI.E:
-            state = MESI.M
+            state = _MESI_E
+        if dirty and state == _MESI_E:
+            state = _MESI_M
         if state is not None:
             self.array.update_state(line, state)
-        self._sharers[line] = {requester}
-        self._owner[line] = requester
+        self._sharers[line] = 1 << rid
+        self._owner[line] = rid
 
     def child_evicted(self, line, child, dirty, ctx):
         """A child evicted its copy (writeback if dirty)."""
-        sharers = self._sharers.get(line)
-        if sharers is not None:
-            sharers.discard(child)
-            if not sharers:
-                del self._sharers[line]
-        if self._owner.get(line) is child:
+        self.dir_ops += 1
+        sharers = self._sharers
+        mask = sharers.get(line)
+        if mask is not None:
+            mask &= ~(1 << child.child_id)
+            if mask:
+                sharers[line] = mask
+            else:
+                del sharers[line]
+        if self._owner.get(line) == child.child_id:
             del self._owner[line]
         if dirty:
             # Dirty data lands in this cache; inclusion guarantees the
             # line is resident.
             state = self.array.lookup(line, touch=False)
             if state is not None:
-                self.array.update_state(line, MESI.M)
+                self.array.update_state(line, _MESI_M)
 
     # ------------------------------------------------------------------
     # Coherence actions from above (the "down" path)
@@ -170,12 +267,18 @@ class Cache:
         """Invalidate this cache's copy and every copy below.  Returns
         True if any invalidated copy was dirty."""
         dirty = False
-        for child in self._clear_directory(line):
-            dirty |= child.invalidate_subtree(line, ctx)
+        mask = self._clear_directory(line)
+        if mask:
+            children = self.children
+            while mask:
+                low = mask & -mask
+                mask ^= low
+                dirty |= children[low.bit_length() - 1] \
+                    .invalidate_subtree(line, ctx)
         state = self.array.invalidate(line)
         if state is not None:
             self.invalidations += 1
-            dirty |= state == MESI.M
+            dirty |= state == _MESI_M
         return dirty
 
     def downgrade_subtree(self, line, ctx=None):
@@ -184,12 +287,12 @@ class Cache:
         dirty = False
         owner = self._owner.pop(line, None)
         if owner is not None:
-            dirty |= owner.downgrade_subtree(line, ctx)
+            dirty |= self.children[owner].downgrade_subtree(line, ctx)
         state = self.array.lookup(line, touch=False)
-        if state is not None and state != MESI.S:
+        if state is not None and state != _MESI_S:
             self.downgrades += 1
-            dirty |= state == MESI.M
-            self.array.update_state(line, MESI.S)
+            dirty |= state == _MESI_M
+            self.array.update_state(line, _MESI_S)
         return dirty
 
     # ------------------------------------------------------------------
@@ -199,33 +302,43 @@ class Cache:
     def _grant_to_child(self, line, write, requester, own_state, ctx):
         """Directory bookkeeping: decide the child's granted state and
         invalidate/downgrade other children as needed."""
-        sharers = self._sharers.setdefault(line, set())
+        rid = requester.child_id
+        rbit = 1 << rid
+        sharers = self._sharers
+        mask = sharers.get(line, 0)
+        self.dir_ops += 1
         if write:
             dirty = False
-            for child in list(sharers):
-                if child is not requester:
-                    dirty |= child.invalidate_subtree(line, ctx)
-                    ctx.latency += self.down_latency
+            others = mask & ~rbit
+            if others:
+                children = self.children
+                down = self.down_latency
+                while others:
+                    low = others & -others
+                    others ^= low
+                    dirty |= children[low.bit_length() - 1] \
+                        .invalidate_subtree(line, ctx)
+                    ctx.latency += down
                     ctx.invalidations += 1
-            sharers.clear()
-            sharers.add(requester)
-            self._owner[line] = requester
+            sharers[line] = rbit
+            self._owner[line] = rid
             if dirty:
-                self.array.update_state(line, MESI.M)
-            return MESI.E
+                self.array.update_state(line, _MESI_M)
+            return _MESI_E
         owner = self._owner.get(line)
-        if owner is not None and owner is not requester:
-            dirty = owner.downgrade_subtree(line, ctx)
+        if owner is not None and owner != rid:
+            dirty = self.children[owner].downgrade_subtree(line, ctx)
             ctx.latency += self.down_latency
             del self._owner[line]
             if dirty:
-                self.array.update_state(line, MESI.M)
-                own_state = MESI.M
-        sharers.add(requester)
-        if len(sharers) == 1 and own_state in (MESI.E, MESI.M):
-            self._owner[line] = requester
-            return MESI.E
-        return MESI.S
+                self.array.update_state(line, _MESI_M)
+                own_state = _MESI_M
+        mask |= rbit
+        sharers[line] = mask
+        if mask == rbit and own_state >= _MESI_E:
+            self._owner[line] = rid
+            return _MESI_E
+        return _MESI_S
 
     def _evict(self, line, state, ctx):
         """Evict ``line`` (inclusive: purge the subtree below first)."""
@@ -234,19 +347,25 @@ class Cache:
             # Shared-cache victims feed the interference profiler's
             # eviction-driven path-altering class (Figure 2).
             ctx.shared_evictions += (line,)
-        dirty = state == MESI.M
-        for child in self._clear_directory(line):
-            dirty |= child.invalidate_subtree(line, ctx)
+        dirty = state == _MESI_M
+        mask = self._clear_directory(line)
+        if mask:
+            children = self.children
+            while mask:
+                low = mask & -mask
+                mask ^= low
+                dirty |= children[low.bit_length() - 1] \
+                    .invalidate_subtree(line, ctx)
         parent, _net = self.parent_select(line)
         parent.child_evicted(line, self, dirty, ctx)
         if dirty:
             self.writebacks += 1
 
     def _clear_directory(self, line):
-        """Drop all directory state for ``line``; returns prior sharers."""
-        sharers = self._sharers.pop(line, set())
+        """Drop all directory state for ``line``; returns the prior
+        sharer bitmask."""
         self._owner.pop(line, None)
-        return sharers
+        return self._sharers.pop(line, 0)
 
     # ------------------------------------------------------------------
     # Introspection (tests, stats)
@@ -258,13 +377,29 @@ class Cache:
         return MESI.I if state is None else state
 
     def sharers_of(self, line):
-        return set(self._sharers.get(line, ()))
+        """Sharing children of ``line`` as a set of cache objects
+        (bitmask decoded; introspection only)."""
+        mask = self._sharers.get(line, 0)
+        children = self.children
+        members = set()
+        while mask:
+            low = mask & -mask
+            mask ^= low
+            members.add(children[low.bit_length() - 1])
+        return members
+
+    def owner_of(self, line):
+        """Owning child of ``line`` (the one granted E/M), or None."""
+        owner = self._owner.get(line)
+        return None if owner is None else self.children[owner]
 
     def integrity_items(self, deep=False):
         """Digest items for the integrity sentinel: name, hot counters,
         directory sizes, and the array summary; ``deep`` adds the full
         directory contents (children named, never repr'd — object reprs
-        would leak host addresses into the digest)."""
+        would leak host addresses into the digest).  The named form also
+        keeps deep digests identical across the bitmask migration:
+        a converted legacy capsule digests to the same values."""
         yield self.name
         yield (self.accesses, self.hits, self.misses, self.evictions,
                self.writebacks, self.invalidations, self.downgrades,
@@ -273,9 +408,11 @@ class Cache:
         yield from self.array.integrity_items(deep=deep)
         if deep:
             yield tuple(sorted(
-                (line, tuple(sorted(child.name for child in children)))
-                for line, children in self._sharers.items()))
-            yield tuple(sorted((line, owner.name)
+                (line, tuple(sorted(child.name for child in
+                                    self.sharers_of(line))))
+                for line in self._sharers))
+            children = self.children
+            yield tuple(sorted((line, children[owner].name)
                                for line, owner in self._owner.items()))
 
     def fill_stats(self, node):
@@ -297,7 +434,10 @@ class Cache:
 class MainMemory:
     """Terminal level: memory controllers with a directory over the top
     cache level.  The directory is only exercised when the top level is
-    not a single shared cache (e.g., multiple per-tile L2s and no L3)."""
+    not a single shared cache (e.g., multiple per-tile L2s and no L3);
+    like :class:`Cache` it is bitmask-over-children (``children`` holds
+    every potential requester — the L3 banks, or the top private level
+    when there is no L3)."""
 
     def __init__(self, config, network, num_tiles):
         self.config = config
@@ -310,10 +450,50 @@ class MainMemory:
         #: One weave component per controller, set by the hierarchy.
         self.ctrl_weaves = [None] * config.controllers
         self.noc_routes = None
-        self._sharers = {}
-        self._owner = {}
+        # Flat-walk routing tables; MemoryHierarchy._rewire_parents
+        # refreshes them (also after unpickle) before any walk runs.
+        self._num_ctrls = config.controllers
+        self._zero_load = config.zero_load_latency
+        self._ctrl_tiles = tuple(self.controller_tile(ctrl)
+                                 for ctrl in range(config.controllers))
+        self._net_to_ctrl = tuple(
+            tuple(network.latency(src, tile) for tile in self._ctrl_tiles)
+            for src in range(num_tiles))
+        self._sharers = {}            # line -> int bitmask of child ids
+        self._owner = {}              # line -> child id
         self.reads = 0
         self.writebacks = 0
+        self.dir_ops = 0
+
+    def __setstate__(self, state):
+        """Same legacy-capsule migration as :meth:`Cache.__setstate__`.
+        Pre-bitmask capsules also ship ``children`` empty when there is
+        no L3; ``MemoryHierarchy.__setstate__`` re-wires it before the
+        conversion can be needed, so by the time a directory entry
+        exists the children list covers every requester."""
+        self.__dict__.update(state)
+        self.__dict__.setdefault("dir_ops", 0)
+        self._migrate_directory()
+
+    def _migrate_directory(self):
+        """Convert legacy set-of-objects directory entries to bitmask
+        form (idempotent; called from __setstate__ and again by the
+        hierarchy once the children list is rebuilt).  Conversion is
+        deferred — entries left as sets — while the children list does
+        not yet cover every tracked requester (pre-bitmask capsules
+        ship ``children`` empty when there is no L3)."""
+        sharers = self._sharers
+        if all(isinstance(mask, int) for mask in sharers.values()):
+            return
+        index = {id(child): i for i, child in enumerate(self.children)}
+        if any(id(member) not in index
+               for members in sharers.values() for member in members):
+            return
+        self._sharers = {
+            line: sum(1 << index[id(child)] for child in members)
+            for line, members in sharers.items()}
+        self._owner = {line: index[id(owner)]
+                       for line, owner in self._owner.items()}
 
     def controller_of(self, line):
         return line % self.config.controllers
@@ -326,59 +506,90 @@ class MainMemory:
 
     def handle_access(self, line, write, requester, ctx):
         self.reads += 1
-        ctrl = self.controller_of(line)
+        ctrl = line % self.config.controllers
         src_tile = getattr(requester, "tile", 0)
         ctrl_tile = self.controller_tile(ctrl)
         if self.noc_routes is not None and src_tile != ctrl_tile:
             route = self.noc_routes.get((src_tile, ctrl_tile))
             if route is not None:
-                ctx.add_step_at(route, ctx.latency, StepKind.NOC)
+                ctx.steps.append((route, ctx.latency, StepKind.NOC))
         ctx.latency += self.network.latency(src_tile, ctrl_tile)
         arrival = ctx.latency
         ctx.latency += self.config.zero_load_latency
-        ctx.add_step_at(self.ctrl_weaves[ctrl], arrival, StepKind.READ)
+        weave = self.ctrl_weaves[ctrl]
+        if weave is not None:
+            ctx.steps.append((weave, arrival, StepKind.READ))
         # Directory over top-level caches (same policy as Cache).
-        sharers = self._sharers.setdefault(line, set())
+        rid = requester.child_id
+        rbit = 1 << rid
+        sharers = self._sharers
+        mask = sharers.get(line, 0)
+        self.dir_ops += 1
         if write:
-            for child in list(sharers):
-                if child is not requester:
-                    child.invalidate_subtree(line, ctx)
+            others = mask & ~rbit
+            if others:
+                children = self.children
+                while others:
+                    low = others & -others
+                    others ^= low
+                    children[low.bit_length() - 1] \
+                        .invalidate_subtree(line, ctx)
                     ctx.invalidations += 1
-            sharers.clear()
-            sharers.add(requester)
-            self._owner[line] = requester
-            return MESI.E
+            sharers[line] = rbit
+            self._owner[line] = rid
+            return _MESI_E
         owner = self._owner.get(line)
-        if owner is not None and owner is not requester:
-            owner.downgrade_subtree(line, ctx)
+        if owner is not None and owner != rid:
+            self.children[owner].downgrade_subtree(line, ctx)
             del self._owner[line]
-        sharers.add(requester)
-        if len(sharers) == 1:
-            self._owner[line] = requester
-            return MESI.E
-        return MESI.S
+        mask |= rbit
+        sharers[line] = mask
+        if mask == rbit:
+            self._owner[line] = rid
+            return _MESI_E
+        return _MESI_S
 
     def acquire_exclusive(self, line, requester, ctx):
-        for child in list(self._sharers.get(line, ())):
-            if child is not requester:
-                child.invalidate_subtree(line, ctx)
+        rid = requester.child_id
+        self.dir_ops += 1
+        others = self._sharers.get(line, 0) & ~(1 << rid)
+        if others:
+            children = self.children
+            while others:
+                low = others & -others
+                others ^= low
+                children[low.bit_length() - 1].invalidate_subtree(line, ctx)
                 ctx.invalidations += 1
-        self._sharers[line] = {requester}
-        self._owner[line] = requester
+        self._sharers[line] = 1 << rid
+        self._owner[line] = rid
 
     def child_evicted(self, line, child, dirty, ctx):
-        sharers = self._sharers.get(line)
-        if sharers is not None:
-            sharers.discard(child)
-            if not sharers:
-                del self._sharers[line]
-        if self._owner.get(line) is child:
+        self.dir_ops += 1
+        sharers = self._sharers
+        mask = sharers.get(line)
+        if mask is not None:
+            mask &= ~(1 << child.child_id)
+            if mask:
+                sharers[line] = mask
+            else:
+                del sharers[line]
+        if self._owner.get(line) == child.child_id:
             del self._owner[line]
         if dirty:
             self.writebacks += 1
-            ctrl = self.controller_of(line)
             if ctx is not None:
-                ctx.add_wback(self.ctrl_weaves[ctrl])
+                ctx.add_wback(self.ctrl_weaves[line % self.config.controllers])
+
+    def sharers_of(self, line):
+        """Sharing top-level caches of ``line`` (introspection only)."""
+        mask = self._sharers.get(line, 0)
+        children = self.children
+        members = set()
+        while mask:
+            low = mask & -mask
+            mask ^= low
+            members.add(children[low.bit_length() - 1])
+        return members
 
     def integrity_items(self, deep=False):
         """Digest items for the integrity sentinel (same shape as
@@ -388,9 +599,11 @@ class MainMemory:
         yield (len(self._sharers), len(self._owner))
         if deep:
             yield tuple(sorted(
-                (line, tuple(sorted(child.name for child in children)))
-                for line, children in self._sharers.items()))
-            yield tuple(sorted((line, owner.name)
+                (line, tuple(sorted(child.name for child in
+                                    self.sharers_of(line))))
+                for line in self._sharers))
+            children = self.children
+            yield tuple(sorted((line, children[owner].name)
                                for line, owner in self._owner.items()))
 
     def fill_stats(self, node):

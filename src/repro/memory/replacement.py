@@ -27,20 +27,40 @@ class ReplacementPolicy:
 
 
 class LRU(ReplacementPolicy):
-    """True least-recently-used: recency list of way indices."""
+    """True least-recently-used, as per-way recency stamps.
+
+    A touch writes one monotonically increasing stamp (O(1), ISSUE 10 —
+    the recency-list representation paid an O(ways) ``list.remove`` on
+    the walk's hottest op); the victim is the way with the smallest
+    stamp.  Stamps are always distinct, so the victim sequence is
+    exactly the recency-list one: initial stamps ``0..ways-1`` make way
+    0 the first victim, and every touch moves a way logically to the
+    end of the order.
+    """
 
     def __init__(self, ways):
         super().__init__(ways)
-        # Most recent at the end. Starts in way order (way 0 is victim).
-        self._order = list(range(ways))
+        self._stamp = list(range(ways))
+        self._clock = ways
+
+    def __setstate__(self, state):
+        # Checkpoints written by recency-list builds carry _order (most
+        # recent last); its positions are exactly the relative stamps.
+        if "_order" in state:
+            order = state.pop("_order")
+            state["_stamp"] = [0] * len(order)
+            for pos, way in enumerate(order):
+                state["_stamp"][way] = pos
+            state["_clock"] = len(order)
+        self.__dict__.update(state)
 
     def touch(self, way):
-        order = self._order
-        order.remove(way)
-        order.append(way)
+        self._stamp[way] = self._clock
+        self._clock += 1
 
     def victim(self):
-        return self._order[0]
+        stamp = self._stamp
+        return stamp.index(min(stamp))
 
 
 class TreePLRU(ReplacementPolicy):

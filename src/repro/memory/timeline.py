@@ -48,12 +48,42 @@ class Timeline:
 
     def reserve(self, earliest, duration):
         """Claim the first free gap of ``duration`` cycles starting at or
-        after ``earliest``; returns the start cycle of the reservation."""
+        after ``earliest``; returns the start cycle of the reservation.
+
+        Single pass (ISSUE 10): the gap scan of :meth:`first_gap` is
+        inlined, and the scan cursor doubles as the insertion index — at
+        scan end every earlier interval starts at or before the landed
+        candidate and every later one starts at or beyond
+        ``candidate + duration``, which is exactly the
+        ``bisect_right(starts, candidate)`` position the two-pass
+        version recomputed."""
         if duration <= 0:
             return earliest
         starts, ends = self._starts, self._ends
-        candidate = self.first_gap(earliest, duration)
-        idx = bisect_right(starts, candidate)
+        if not ends or earliest >= ends[-1]:
+            # Lands past all recorded occupancy (the common case when
+            # events arrive in rough time order): append, merging with
+            # a touching last interval — identical list state to the
+            # general path's insert-then-merge.
+            if ends and ends[-1] == earliest:
+                ends[-1] = earliest + duration
+            else:
+                starts.append(earliest)
+                ends.append(earliest + duration)
+            if len(starts) > 64 and earliest - PRUNE_HORIZON > \
+                    self._pruned_before:
+                self._prune(earliest - PRUNE_HORIZON)
+            return earliest
+        idx = bisect_right(starts, earliest)
+        if idx > 0 and ends[idx - 1] > earliest:
+            candidate = ends[idx - 1]
+        else:
+            candidate = earliest
+        n = len(starts)
+        while idx < n and starts[idx] < candidate + duration:
+            if ends[idx] > candidate:
+                candidate = ends[idx]
+            idx += 1
         starts.insert(idx, candidate)
         ends.insert(idx, candidate + duration)
         # Merge with touching neighbours (keeps the lists short).
@@ -70,10 +100,15 @@ class Timeline:
 
     def _prune(self, before):
         self._pruned_before = before
-        cut = bisect_right(self._ends, before)
+        ends = self._ends
+        if not ends or ends[0] > before:
+            # Nothing old enough to cut: a long timeline whose horizon
+            # advances every reserve hits this on each call.
+            return
+        cut = bisect_right(ends, before)
         if cut:
             del self._starts[:cut]
-            del self._ends[:cut]
+            del ends[:cut]
 
     def busy_at(self, cycle):
         """Whether the resource is busy at ``cycle`` (for tests)."""

@@ -30,6 +30,9 @@ import heapq
 from repro.memory.access import StepKind
 from repro.memory.timeline import MultiTimeline, Timeline
 
+_MISS = StepKind.MISS
+_WBACK = StepKind.WBACK
+
 
 class WeaveComponent:
     """Base class: a component that retimes weave events."""
@@ -78,7 +81,7 @@ class CacheBankWeave(WeaveComponent):
     def occupy(self, cycle, kind, line=0):
         self.events_executed += 1
         start = cycle
-        if kind == StepKind.MISS:
+        if kind == _MISS:
             # A miss allocates an MSHR; when all are busy the access
             # stalls until the oldest outstanding miss completes.
             release = self._mshr_release
@@ -90,7 +93,12 @@ class CacheBankWeave(WeaveComponent):
                     self.mshr_stall_cycles += earliest - start
                     start = earliest
             heapq.heappush(release, start + self.miss_hold_cycles)
-        granted = self._port_timeline.reserve(start, self.PORT_OCCUPANCY)
+        timelines = self._port_timeline._timelines
+        if len(timelines) == 1:
+            granted = timelines[0].reserve(start, self.PORT_OCCUPANCY)
+        else:
+            granted = self._port_timeline.reserve(start,
+                                                  self.PORT_OCCUPANCY)
         self.port_stall_cycles += granted - start
         return granted + self.latency
 
@@ -135,6 +143,10 @@ class MemCtrlWeave(WeaveComponent):
         # matches the bound phase's configured zero-load latency.
         self.overhead = max(0, mem_config.zero_load_latency
                             - self.access_cycles)
+        # Powerdown constants, core cycles (occupy runs once per event).
+        self._pd_threshold = mem_config.powerdown_threshold * self.ratio
+        self._pd_exit = int(round(
+            mem_config.powerdown_exit_cycles * self.ratio))
         self._banks = [[Timeline() for _ in range(self.num_banks)]
                        for _ in range(self.channels)]
         self._data_bus = [Timeline() for _ in range(self.channels)]
@@ -148,30 +160,39 @@ class MemCtrlWeave(WeaveComponent):
         bank = (line >> 1) % self.num_banks
         return channel, bank
 
+    def __setstate__(self, state):
+        # Capsules written before the precomputed powerdown constants
+        # lack them; re-derive from the pickled config.
+        self.__dict__.update(state)
+        if "_pd_threshold" not in state:
+            self._pd_threshold = self.cfg.powerdown_threshold * self.ratio
+            self._pd_exit = int(round(
+                self.cfg.powerdown_exit_cycles * self.ratio))
+
     def occupy(self, cycle, kind, line=0):
         self.events_executed += 1
-        channel, bank = self._map(line)
+        channel = (line >> 4) % self.channels
+        bank = (line >> 1) % self.num_banks
         start = cycle
         # Fast powerdown: if the channel idled past the threshold, pay
         # the exit latency (Table 2: threshold timer = 15 mem cycles).
         # Stragglers arriving before the last activity are not charged.
-        idle = start - self._last_activity[channel]
-        if idle > self.cfg.powerdown_threshold * self.ratio:
+        last_activity = self._last_activity
+        if start - last_activity[channel] > self._pd_threshold:
             self.powerdown_exits += 1
-            start += int(round(self.cfg.powerdown_exit_cycles * self.ratio))
+            start += self._pd_exit
         # Bank occupancy (ACT..PRE), then the data burst on the channel.
         bank_start = self._banks[channel][bank].reserve(
             start, self.bank_busy_cycles)
         self.bank_conflict_cycles += bank_start - start
-        bus_start = self._data_bus[channel].reserve(
-            bank_start, self.burst_core_cycles)
+        burst = self.burst_core_cycles
+        bus_start = self._data_bus[channel].reserve(bank_start, burst)
         self.bus_conflict_cycles += bus_start - bank_start
-        if bus_start + self.burst_core_cycles > self._last_activity[channel]:
-            self._last_activity[channel] = (bus_start
-                                            + self.burst_core_cycles)
-        if kind == StepKind.WBACK:
+        if bus_start + burst > last_activity[channel]:
+            last_activity[channel] = bus_start + burst
+        if kind == _WBACK:
             # Writebacks occupy the bank and bus but need no response.
-            return bus_start + self.burst_core_cycles
+            return bus_start + burst
         return bus_start + self.overhead + self.access_cycles
 
     def zero_load_service(self, kind):

@@ -129,13 +129,17 @@ def _stats_tree(result):
 
 
 def _run(config, contention, fastpath=None, backend=None,
-         instrs=15_000):
+         instrs=15_000, l2_fastpath=None, flat=None):
     wl = mt_workload("blackscholes", scale=1 / 64,
                      num_threads=config.num_cores)
     sim = ZSim(config, threads=wl.make_threads(target_instrs=instrs),
                contention_model=contention, backend=backend)
     if fastpath is not None:
         sim.hierarchy.enable_fastpath = fastpath
+    if l2_fastpath is not None:
+        sim.hierarchy.enable_l2_fastpath = l2_fastpath
+    if flat is not None:
+        sim.hierarchy.enable_flat_walk = flat
     return sim, _stats_tree(sim.run())
 
 
@@ -155,15 +159,66 @@ class TestFastpathEquivalence:
         assert sim_on.hierarchy.fastpath_hits > 0
         assert sim_off.hierarchy.fastpath_hits == 0
 
+    @pytest.mark.parametrize("contention", ("none", "md1", "weave"))
+    @pytest.mark.parametrize("core_model", ("simple", "ooo"))
+    def test_l2_fastpath_off_is_invisible(self, core_model, contention):
+        """The shared-level hit fast path (ISSUE 10) must be invisible
+        on its own: L1 fast path held constant, L2 path toggled."""
+        cfg = small_test_system(num_cores=2, core_model=core_model)
+        sim_on, on = _run(cfg, contention)
+        cfg = small_test_system(num_cores=2, core_model=core_model)
+        sim_off, off = _run(cfg, contention, l2_fastpath=False)
+        assert_equivalent(on, off, ignore=("host",),
+                          context="l2 fastpath on vs off (%s, %s)"
+                          % (core_model, contention))
+        assert sim_on.hierarchy.l2_fastpath_hits > 0
+        assert sim_off.hierarchy.l2_fastpath_hits == 0
+
+    @pytest.mark.parametrize("contention", ("none", "weave"))
+    def test_both_fastpaths_off_is_invisible(self, contention):
+        """Every access down the full coherence walk still matches."""
+        cfg = small_test_system(num_cores=4, core_model="ooo")
+        _, on = _run(cfg, contention)
+        cfg = small_test_system(num_cores=4, core_model="ooo")
+        sim_off, off = _run(cfg, contention, fastpath=False,
+                            l2_fastpath=False)
+        assert_equivalent(on, off, ignore=("host",),
+                          context="both fastpaths off (%s)" % contention)
+        assert sim_off.hierarchy.fastpath_hits == 0
+        assert sim_off.hierarchy.l2_fastpath_hits == 0
+        assert sim_off.hierarchy.slow_accesses > 0
+
+    @pytest.mark.parametrize("contention", ("none", "md1", "weave"))
+    @pytest.mark.parametrize("core_model", ("simple", "ooo"))
+    def test_flat_walk_off_is_invisible(self, core_model, contention):
+        """The flattened coherence walk (ISSUE 10) against the recursive
+        reference implementation, fast paths disabled so every access
+        exercises the walk under test."""
+        cfg = small_test_system(num_cores=4, core_model=core_model)
+        _, on = _run(cfg, contention, fastpath=False, l2_fastpath=False)
+        cfg = small_test_system(num_cores=4, core_model=core_model)
+        sim_off, off = _run(cfg, contention, fastpath=False,
+                            l2_fastpath=False, flat=False)
+        assert_equivalent(on, off, ignore=("host",),
+                          context="flat walk on vs off (%s, %s)"
+                          % (core_model, contention))
+        assert sim_off.hierarchy.slow_accesses > 0
+
     def test_host_dbt_counters_are_reported(self):
         cfg = small_test_system(num_cores=2, core_model="ooo")
         sim, tree = _run(cfg, "weave")
         dbt = tree["host"]["dbt"]
         assert dbt["fastpath_hits"] == sim.hierarchy.fastpath_hits > 0
+        assert dbt["l2_fastpath_hits"] == \
+            sim.hierarchy.l2_fastpath_hits > 0
         assert dbt["slow_accesses"] == sim.hierarchy.slow_accesses > 0
         assert 0.0 < dbt["fastpath_hit_rate"] < 1.0
         assert dbt["translation_hit_rate"] > 0.9
         assert dbt["trace_recycles"] > 0
+        hier = sim.hierarchy
+        assert dbt["dir_bitmask_ops"] == \
+            sum(c.dir_ops for c in hier.all_caches()) \
+            + hier.mainmem.dir_ops > 0
 
     def test_slabs_stay_bounded_and_recycle(self):
         cfg = small_test_system(num_cores=2, core_model="ooo")
@@ -235,8 +290,10 @@ class TestRecyclingMatrix:
         # Strip the new attributes as an old capsule would have them.
         state = hier.__getstate__()
         for attr in ("_ctx_pool", "_result_pool", "enable_fastpath",
-                     "fastpath_hits", "slow_accesses", "ctx_reuses",
-                     "result_reuses"):
+                     "enable_l2_fastpath", "fastpath_hits",
+                     "l2_fastpath_hits", "slow_accesses", "ctx_reuses",
+                     "result_reuses", "enable_flat_walk", "_walk_caches",
+                     "_walk_idx"):
             state.pop(attr, None)
         hier.__setstate__(state)
         assert hier._ctx_pool == [] and hier._result_pool == []
